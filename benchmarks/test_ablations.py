@@ -1,0 +1,173 @@
+"""ABLATIONS — the design choices Section 5.2 (*Tuning*) calls out.
+
+Each benchmark flips one knob of :class:`~repro.core.config.DiffConfig`
+and measures its effect on speed and/or delta quality:
+
+- ID attributes on/off ("if ID attributes are frequently used ... most of
+  the matching decisions have been done during this phase");
+- the log text weight vs flat weights;
+- lazy-down vs eager-down propagation;
+- number of Phase 4 optimization passes;
+- incremental index maintenance vs full reindex (the Section 2 indexing
+  motivation).
+"""
+
+import functools
+
+import pytest
+
+from benchmarks.workloads import diff_pair
+from repro.core import DiffConfig, delta_byte_size, diff
+from repro.simulator import SimulatorConfig, generate_catalog, simulate_changes
+
+
+@functools.lru_cache(maxsize=None)
+def catalog_pair(with_ids: bool):
+    old = generate_catalog(products=300, categories=8, seed=41, with_ids=with_ids)
+    result = simulate_changes(
+        old,
+        SimulatorConfig(0.05, 0.15, 0.05, 0.05, seed=42),
+    )
+    return old, result.new_document
+
+
+def run_config(old, new, config):
+    return diff(old.clone(keep_xids=False), new.clone(keep_xids=False), config)
+
+
+class TestIdAttributes:
+    def test_with_ids(self, benchmark):
+        old, new = catalog_pair(True)
+        delta = benchmark(
+            lambda: run_config(old, new, DiffConfig(use_id_attributes=True))
+        )
+        benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
+
+    def test_without_ids(self, benchmark):
+        old, new = catalog_pair(True)
+        delta = benchmark(
+            lambda: run_config(old, new, DiffConfig(use_id_attributes=False))
+        )
+        benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
+
+    def test_ids_do_not_hurt_quality(self, benchmark):
+        old, new = catalog_pair(True)
+        with_ids = run_config(old, new, DiffConfig(use_id_attributes=True))
+        without = run_config(old, new, DiffConfig(use_id_attributes=False))
+        benchmark(
+            lambda: run_config(old, new, DiffConfig(use_id_attributes=True))
+        )
+        benchmark.extra_info["with_ids_bytes"] = delta_byte_size(with_ids)
+        benchmark.extra_info["without_ids_bytes"] = delta_byte_size(without)
+        # ID-driven matching must not inflate the delta materially
+        assert delta_byte_size(with_ids) <= delta_byte_size(without) * 1.5
+
+
+class TestWeightFunction:
+    @pytest.mark.parametrize("log_weight", [True, False])
+    def test_weight_function(self, benchmark, log_weight):
+        old, new = diff_pair(2_000, doc_seed=51, sim_seed=52)
+        delta = benchmark(
+            lambda: run_config(
+                old, new, DiffConfig(log_text_weight=log_weight)
+            )
+        )
+        benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
+
+
+class TestSignatureMode:
+    @pytest.mark.parametrize("fast", [False, True])
+    def test_signature_mode(self, benchmark, fast):
+        old, new = diff_pair(4_000, doc_seed=57, sim_seed=58)
+        delta = benchmark(
+            lambda: run_config(old, new, DiffConfig(fast_signatures=fast))
+        )
+        benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
+
+    def test_fast_mode_quality_identical(self, benchmark):
+        old, new = diff_pair(4_000, doc_seed=57, sim_seed=58)
+        slow = run_config(old, new, DiffConfig(fast_signatures=False))
+        fast = run_config(old, new, DiffConfig(fast_signatures=True))
+        benchmark(
+            lambda: run_config(old, new, DiffConfig(fast_signatures=True))
+        )
+        assert delta_byte_size(fast) == delta_byte_size(slow)
+
+
+class TestDownPropagation:
+    @pytest.mark.parametrize("lazy", [True, False])
+    def test_lazy_vs_eager(self, benchmark, lazy):
+        old, new = diff_pair(2_000, doc_seed=53, sim_seed=54)
+        delta = benchmark(
+            lambda: run_config(old, new, DiffConfig(lazy_down=lazy))
+        )
+        benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
+
+
+class TestOptimizationPasses:
+    @pytest.mark.parametrize("passes", [0, 1, 2, 4])
+    def test_passes(self, benchmark, passes):
+        old, new = diff_pair(2_000, doc_seed=55, sim_seed=56)
+        delta = benchmark(
+            lambda: run_config(
+                old, new, DiffConfig(optimization_passes=passes)
+            )
+        )
+        benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
+
+    def test_more_passes_never_hurt_quality_much(self, benchmark):
+        old, new = diff_pair(2_000, doc_seed=55, sim_seed=56)
+        none = run_config(old, new, DiffConfig(optimization_passes=0))
+        two = run_config(old, new, DiffConfig(optimization_passes=2))
+        benchmark(
+            lambda: run_config(old, new, DiffConfig(optimization_passes=2))
+        )
+        benchmark.extra_info["passes0_bytes"] = delta_byte_size(none)
+        benchmark.extra_info["passes2_bytes"] = delta_byte_size(two)
+        assert delta_byte_size(two) <= delta_byte_size(none) * 1.1
+
+
+class TestIncrementalIndexing:
+    def test_incremental_update(self, benchmark):
+        from repro.core import assign_initial_xids
+        from repro.versioning import TextIndex
+
+        old, new = catalog_pair(False)
+        old = old.clone(keep_xids=False)
+        new = new.clone(keep_xids=False)
+        delta = diff(old, new)
+        base_index = TextIndex()
+        base_index.index_document("d", old)
+
+        import copy
+
+        def run():
+            index = TextIndex()
+            index._postings = {
+                word: set(postings)
+                for word, postings in base_index._postings.items()
+            }
+            index._node_words = {
+                key: set(words)
+                for key, words in base_index._node_words.items()
+            }
+            index.update_from_delta("d", delta)
+            return index
+
+        incremental = benchmark(run)
+        fresh = TextIndex()
+        fresh.index_document("d", new)
+        assert incremental._postings == fresh._postings
+
+    def test_full_reindex(self, benchmark):
+        from repro.versioning import TextIndex
+
+        old, new = catalog_pair(False)
+        new = new.clone()
+
+        def run():
+            index = TextIndex()
+            index.index_document("d", new)
+            return index
+
+        benchmark(run)

@@ -1,0 +1,101 @@
+"""FIG4 — Time cost of the diff phases vs total document size.
+
+Paper reference: Figure 4, Section 6.1 *Performance*.  "The change
+simulator was set to generate a fair amount of changes ... probabilities
+10 percent each ... The results show clearly that our algorithm's cost is
+almost linear in time" — and "Phases 3 + 4, the core of the diff
+algorithm, are clearly the fastest part of the whole process" (most time
+goes to parsing/hashing in phases 1+2 and delta/DOM work in phase 5).
+
+These pytest benchmarks time the full diff at three sizes (extra_info
+carries the per-phase split).  The full log-log size sweep that redraws
+the figure lives in ``benchmarks/report.py`` (``python -m
+benchmarks.report FIG4``).
+"""
+
+import pytest
+
+from benchmarks.workloads import diff_pair, total_bytes
+from repro.core import diff_with_stats
+
+SIZES = [500, 2_000, 8_000]
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_diff_total_time(benchmark, nodes):
+    old, new = diff_pair(nodes)
+    size = total_bytes(old, new)
+
+    def run():
+        return diff_with_stats(
+            old.clone(keep_xids=False), new.clone(keep_xids=False)
+        )
+
+    _, stats = benchmark(run)
+    benchmark.extra_info["total_bytes"] = size
+    benchmark.extra_info["old_nodes"] = stats.old_nodes
+    benchmark.extra_info["new_nodes"] = stats.new_nodes
+    for phase, seconds in stats.phase_seconds.items():
+        benchmark.extra_info[f"{phase}_seconds"] = round(seconds, 6)
+    benchmark.extra_info["core_seconds"] = round(stats.core_seconds, 6)
+    # the paper's observation: the core (phases 3+4) is the fast part
+    assert stats.core_seconds <= stats.total_seconds
+
+
+@pytest.mark.parametrize("nodes", [2_000])
+def test_core_phases_only(benchmark, nodes):
+    """Time only phases 3+4 (candidate matching + propagation)."""
+    from repro.core.buld import BuldMatcher
+    from repro.core.config import DiffConfig
+    from repro.core.xid import assign_initial_xids
+
+    old_master, new_master = diff_pair(nodes)
+    assign_initial_xids(old_master)
+
+    def run():
+        matcher = BuldMatcher(old_master, new_master, DiffConfig())
+        matcher.phase2_annotate()  # prerequisite, not part of the core
+        return matcher
+
+    def core(matcher):
+        matcher.phase3_match_subtrees()
+        matcher.phase4_propagate()
+        return matcher.matching
+
+    matching = benchmark.pedantic(
+        core, setup=lambda: ((run(),), {}), rounds=10
+    )
+    assert len(matching) > 0
+
+
+def test_near_linear_scaling(benchmark):
+    """Doubling input size must not quadruple diff time (quasi-linearity).
+
+    A coarse smoke guard — the real evidence is the report's log-log
+    series; this asserts against gross quadratic regressions only.
+    """
+    import time
+
+    def measure(nodes):
+        old, new = diff_pair(nodes)
+        best = float("inf")
+        for _ in range(3):
+            o = old.clone(keep_xids=False)
+            n = new.clone(keep_xids=False)
+            start = time.perf_counter()
+            diff_with_stats(o, n)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    small = measure(1_000)
+    big = measure(8_000)
+
+    def run():
+        return measure(2_000)
+
+    benchmark(run)
+    # 8x the nodes should cost clearly less than the quadratic 64x;
+    # allow generous slack for constant factors and cache effects.
+    assert big < small * 8 * 4, (
+        f"8x size took {big / small:.1f}x the time — superlinear blowup"
+    )

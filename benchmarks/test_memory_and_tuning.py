@@ -1,0 +1,151 @@
+"""Linear-space claim and the remaining Section 5.2 tuning knobs.
+
+"The memory usage is linear in the total size of both documents"
+(Section 5.3) — measured here with tracemalloc.  Plus ablations the main
+ablation module does not cover: the candidate enumeration cap and the
+ancestor-propagation depth factor, and inferred ID attributes as a
+replacement for declared ones.
+"""
+
+import tracemalloc
+
+import pytest
+
+from benchmarks.workloads import diff_pair
+from repro.core import DiffConfig, delta_byte_size, diff
+
+
+def peak_diff_memory(nodes: int) -> int:
+    old, new = diff_pair(nodes, doc_seed=71, sim_seed=72)
+    old = old.clone(keep_xids=False)
+    new = new.clone(keep_xids=False)
+    tracemalloc.start()
+    diff(old, new)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def test_linear_memory(benchmark):
+    small_peak = peak_diff_memory(1_000)
+    large_peak = peak_diff_memory(8_000)
+
+    benchmark(lambda: peak_diff_memory(1_000))
+    benchmark.extra_info["peak_at_1k_nodes"] = small_peak
+    benchmark.extra_info["peak_at_8k_nodes"] = large_peak
+    ratio = large_peak / small_peak
+    # 8x the input must not need more than ~8x (+slack) the memory
+    assert ratio < 8 * 2.5, f"memory grew {ratio:.1f}x for 8x input"
+
+
+class TestCandidateCap:
+    """max_candidates bounds the Phase 3 scan — the explicit guard that
+    keeps candidate selection constant-per-node."""
+
+    @pytest.mark.parametrize("cap", [1, 4, 32])
+    def test_cap_settings(self, benchmark, cap):
+        old, new = diff_pair(2_000, doc_seed=73, sim_seed=74)
+        config = DiffConfig(max_candidates=cap)
+        delta = benchmark(
+            lambda: diff(
+                old.clone(keep_xids=False), new.clone(keep_xids=False), config
+            )
+        )
+        benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
+
+    def test_tiny_cap_still_correct(self, benchmark):
+        from repro.core import apply_delta
+
+        old, new = diff_pair(1_000, doc_seed=75, sim_seed=76)
+        config = DiffConfig(max_candidates=1)
+        old = old.clone(keep_xids=False)
+        new = new.clone(keep_xids=False)
+        delta = benchmark(lambda: diff(old.clone(), new.clone()))
+        delta = diff(old, new, config)
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+
+class TestAncestorDepthFactor:
+    @pytest.mark.parametrize("factor", [0.0, 1.0, 3.0])
+    def test_depth_factor(self, benchmark, factor):
+        old, new = diff_pair(2_000, doc_seed=77, sim_seed=78)
+        config = DiffConfig(ancestor_depth_factor=factor)
+        delta = benchmark(
+            lambda: diff(
+                old.clone(keep_xids=False), new.clone(keep_xids=False), config
+            )
+        )
+        benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
+
+    def test_zero_factor_still_correct(self, benchmark):
+        from repro.core import apply_delta
+
+        old, new = diff_pair(1_000, doc_seed=79, sim_seed=80)
+        old = old.clone(keep_xids=False)
+        new = new.clone(keep_xids=False)
+        benchmark(
+            lambda: diff(
+                old.clone(), new.clone(), DiffConfig(ancestor_depth_factor=0.0)
+            )
+        )
+        delta = diff(old, new, DiffConfig(ancestor_depth_factor=0.0))
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+
+class TestInferredIds:
+    def catalog_pair(self):
+        from repro.simulator import (
+            SimulatorConfig,
+            generate_catalog,
+            simulate_changes,
+        )
+
+        # note: NO declared DTD ids — inference must find product/sku
+        old = generate_catalog(products=200, categories=5, seed=81)
+        result = simulate_changes(
+            old, SimulatorConfig(0.05, 0.15, 0.05, 0.05, seed=82)
+        )
+        return old, result.new_document
+
+    def test_inferred_ids(self, benchmark):
+        old, new = self.catalog_pair()
+        config = DiffConfig(infer_id_attributes=True)
+        delta = benchmark(
+            lambda: diff(
+                old.clone(keep_xids=False), new.clone(keep_xids=False), config
+            )
+        )
+        benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
+
+    def test_no_inference(self, benchmark):
+        old, new = self.catalog_pair()
+        config = DiffConfig(infer_id_attributes=False)
+        delta = benchmark(
+            lambda: diff(
+                old.clone(keep_xids=False), new.clone(keep_xids=False), config
+            )
+        )
+        benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
+
+    def test_inference_quality_not_worse(self, benchmark):
+        old, new = self.catalog_pair()
+        with_inference = diff(
+            old.clone(keep_xids=False),
+            new.clone(keep_xids=False),
+            DiffConfig(infer_id_attributes=True),
+        )
+        without = diff(
+            old.clone(keep_xids=False),
+            new.clone(keep_xids=False),
+            DiffConfig(infer_id_attributes=False),
+        )
+        benchmark(
+            lambda: diff(
+                old.clone(keep_xids=False),
+                new.clone(keep_xids=False),
+                DiffConfig(infer_id_attributes=True),
+            )
+        )
+        benchmark.extra_info["inferred_bytes"] = delta_byte_size(with_inference)
+        benchmark.extra_info["plain_bytes"] = delta_byte_size(without)
+        assert delta_byte_size(with_inference) <= delta_byte_size(without) * 1.3

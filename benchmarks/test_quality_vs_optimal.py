@@ -1,0 +1,132 @@
+"""QUAL — How close to optimal is the heuristic diff? (Section 5 claims)
+
+The problem is NP-hard with moves, and BULD deliberately trades an "ounce
+of quality" for near-linear time: "we may miss the best match, and some
+sets of move operations may not be optimal".  Two yardsticks quantify the
+ounce:
+
+1. **Zhang-Shasha**: on trees small enough for the exact (move-less)
+   tree edit distance, BULD's move-less cost (#inserted nodes + #deleted
+   nodes + #updates) is compared against the true optimum.  BULD may beat
+   it when moves help (a move replaces a delete+insert pair), and must
+   stay within a small factor otherwise.
+2. **Exact vs chunked moves**: the paper's block-50 heuristic for intra-
+   parent moves against the exact heaviest-increasing-subsequence.
+"""
+
+import pytest
+
+from benchmarks.workloads import scenario
+from repro.baselines import tree_edit_distance
+from repro.core import DiffConfig, diff
+from repro.core.xid import subtree_xids
+
+
+def moveless_cost(delta) -> int:
+    """Nodes deleted + inserted + values updated (ZS-comparable cost)."""
+    cost = 0
+    for operation in delta.operations:
+        kind = operation.kind
+        if kind in ("delete", "insert"):
+            cost += len(subtree_xids(operation.subtree))
+        elif kind in ("update", "attr-insert", "attr-delete", "attr-update"):
+            cost += 1
+        elif kind == "move":
+            # a move-free script would delete and re-insert the subtree
+            cost += 0
+    return cost
+
+
+def moves_as_edit_cost(delta, old_document) -> int:
+    from repro.core import xid_index
+
+    index = xid_index(old_document)
+    cost = 0
+    for operation in delta.by_kind("move"):
+        node = index.get(operation.xid)
+        cost += 2 * (node.subtree_size() if node is not None else 1)
+    return cost
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_buld_cost_near_zs_optimum(benchmark, seed):
+    old, new, _ = scenario(
+        120,
+        doc_seed=seed,
+        sim_seed=seed + 60,
+        delete_probability=0.08,
+        update_probability=0.08,
+        insert_probability=0.08,
+        move_probability=0.0,  # no moves: ZS is a genuine lower bound
+    )
+    old_clone = old.clone(keep_xids=False)
+    new_clone = new.clone(keep_xids=False)
+
+    def run():
+        return diff(old_clone.clone(), new_clone.clone())
+
+    delta = benchmark(run)
+    labelled_old = old.clone(keep_xids=False)
+    delta = diff(labelled_old, new.clone(keep_xids=False))
+    optimal = tree_edit_distance(old_clone, new_clone)
+    heuristic = moveless_cost(delta) + moves_as_edit_cost(delta, labelled_old)
+    benchmark.extra_info["zs_optimal"] = optimal
+    benchmark.extra_info["buld_cost"] = heuristic
+    assert heuristic >= optimal - 1e-9  # sanity: nobody beats the optimum
+    # the paper's 'ounce of quality': stay within a small factor
+    assert heuristic <= max(3.0 * optimal, optimal + 12), (
+        f"BULD cost {heuristic} vs optimal {optimal}"
+    )
+
+
+def test_moves_can_beat_the_moveless_optimum(benchmark):
+    """With real moves, a move-aware script is cheaper than ZS's best."""
+    from repro.xmlkit import parse
+
+    old = parse(
+        "<r><a><big><x>payload one</x><y>payload two</y>"
+        "<z>payload three</z></big></a><b/></r>"
+    )
+    new = parse(
+        "<r><a/><b><big><x>payload one</x><y>payload two</y>"
+        "<z>payload three</z></big></b></r>"
+    )
+
+    def run():
+        return diff(old.clone(keep_xids=False), new.clone(keep_xids=False))
+
+    delta = benchmark(run)
+    optimal_moveless = tree_edit_distance(old, new)
+    assert delta.summary() == {"move": 1}
+    # one move op vs deleting+inserting the 10-node subtree
+    assert 1 < optimal_moveless
+
+
+@pytest.mark.parametrize("block", [5, 50])
+def test_chunked_move_heuristic_quality(benchmark, block):
+    """Exact vs chunked intra-parent move detection on wide parents."""
+    import random
+
+    from repro.core.moves import (
+        chunked_increasing_subsequence,
+        heaviest_increasing_subsequence,
+    )
+
+    rng = random.Random(9)
+    values = list(range(400))
+    # local shuffling: swap within windows (web-realistic reordering)
+    for start in range(0, 400, 20):
+        window = values[start:start + 20]
+        rng.shuffle(window)
+        values[start:start + 20] = window
+
+    def run():
+        return chunked_increasing_subsequence(values, block_length=block)
+
+    chunk_total, _ = benchmark(run)
+    exact_total, _ = heaviest_increasing_subsequence(values)
+    benchmark.extra_info["exact_kept"] = exact_total
+    benchmark.extra_info["chunked_kept"] = chunk_total
+    assert chunk_total <= exact_total
+    # the heuristic "proves to be sufficient in practice": keeps most weight
+    assert chunk_total >= 0.5 * exact_total

@@ -1,0 +1,82 @@
+"""SITE — Diffing web-site snapshots (the INRIA experiment, Section 6.2).
+
+Paper reference: "using the site www.inria.fr that is about fourteen
+thousand pages, the XML document is about five million bytes.  Given the
+two XML snapshots of the site, the diff computes the delta in about
+thirty seconds.  Note that the core of our algorithm is running for less
+than two seconds whereas the rest of the time is used to read and write
+the XML data.  The delta's we obtain ... are typically of size one
+million bytes."
+
+The pytest benchmark runs a scaled-down site (1,500 pages, ~0.5 MB) so
+the suite stays fast; the full 14k-page run is
+``python -m benchmarks.report SITE``.  The shape assertions mirror the
+paper: the core phases are a small fraction of end-to-end time (which
+includes parsing/serializing the XML), and the delta is a fraction of
+the snapshot.
+"""
+
+import functools
+import time
+
+import pytest
+
+from repro.core import delta_byte_size, diff_with_stats
+from repro.simulator import evolve_site, generate_site_snapshot
+from repro.xmlkit import parse, serialize, serialize_bytes
+
+PAGES = 1_500
+
+
+@functools.lru_cache(maxsize=None)
+def site_pair():
+    old = generate_site_snapshot(pages=PAGES, sections=16, seed=31)
+    new = evolve_site(old, seed=32)
+    return old, new
+
+
+def test_site_diff_core(benchmark):
+    old, new = site_pair()
+
+    def run():
+        return diff_with_stats(
+            old.clone(keep_xids=False), new.clone(keep_xids=False)
+        )
+
+    delta, stats = benchmark(run)
+    snapshot_bytes = len(serialize_bytes(old))
+    delta_bytes = delta_byte_size(delta)
+    benchmark.extra_info["pages"] = PAGES
+    benchmark.extra_info["snapshot_bytes"] = snapshot_bytes
+    benchmark.extra_info["delta_bytes"] = delta_bytes
+    benchmark.extra_info["core_seconds"] = round(stats.core_seconds, 4)
+    benchmark.extra_info["total_seconds"] = round(stats.total_seconds, 4)
+    # delta stays well under the snapshot itself
+    assert delta_bytes < snapshot_bytes
+
+
+def test_end_to_end_io_dominates(benchmark):
+    """Reproduce the paper's 30s-total / <2s-core split in shape: parse +
+    serialize (the I/O path) costs a large multiple of the core phases."""
+    old, new = site_pair()
+    old_text = serialize(old)
+    new_text = serialize(new)
+
+    def end_to_end():
+        parsed_old = parse(old_text)
+        parsed_new = parse(new_text)
+        delta, stats = diff_with_stats(parsed_old, parsed_new)
+        from repro.core import serialize_delta
+
+        serialize_delta(delta)
+        return stats
+
+    stats = benchmark(end_to_end)
+
+    start = time.perf_counter()
+    end_to_end()
+    total = time.perf_counter() - start
+    core = stats.core_seconds
+    benchmark.extra_info["core_fraction"] = round(core / total, 3)
+    # the core is a minority of the end-to-end cost (paper: ~2s of ~30s)
+    assert core < total * 0.5

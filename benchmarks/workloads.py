@@ -1,0 +1,85 @@
+"""Shared workload builders for the benchmark suite.
+
+Every benchmark and every figure report pulls its documents from here, so
+the pytest-benchmark runs and the full-sweep reports measure the same
+workloads.  Generation is memoized per process — pytest-benchmark calls a
+benchmarked function many times and must not pay generation cost inside
+the timed region anyway, but the fixtures themselves are also reused
+across tests.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core import DiffConfig
+from repro.simulator import (
+    GeneratorConfig,
+    SimulatorConfig,
+    generate_document,
+    simulate_changes,
+)
+from repro.xmlkit import serialize_bytes
+
+__all__ = [
+    "PAPER_CHANGE_MIX",
+    "diff_pair",
+    "scenario",
+    "total_bytes",
+]
+
+#: The paper's Figure 4 setting: "the probabilities for each node to be
+#: modified, deleted or have a child subtree inserted, or be moved were
+#: set to 10 percent each".
+PAPER_CHANGE_MIX = dict(
+    delete_probability=0.10,
+    update_probability=0.10,
+    insert_probability=0.10,
+    move_probability=0.10,
+)
+
+
+@functools.lru_cache(maxsize=None)
+def scenario(
+    nodes: int,
+    doc_seed: int = 1,
+    sim_seed: int = 2,
+    delete_probability: float = 0.10,
+    update_probability: float = 0.10,
+    insert_probability: float = 0.10,
+    move_probability: float = 0.10,
+):
+    """An (old, new, perfect_delta) triple for a given size and change mix.
+
+    The returned documents are the *masters*; callers that mutate (diff
+    assigns XIDs) must clone first — use :func:`diff_pair`.
+    """
+    base = generate_document(
+        GeneratorConfig(target_nodes=nodes, seed=doc_seed)
+    )
+    result = simulate_changes(
+        base,
+        SimulatorConfig(
+            delete_probability=delete_probability,
+            update_probability=update_probability,
+            insert_probability=insert_probability,
+            move_probability=move_probability,
+            seed=sim_seed,
+        ),
+    )
+    return base, result.new_document, result.perfect_delta
+
+
+def diff_pair(nodes: int, **kwargs):
+    """Fresh unlabelled clones of a scenario's old/new documents."""
+    old, new, _ = scenario(nodes, **kwargs)
+    return old.clone(keep_xids=False), new.clone(keep_xids=False)
+
+
+def total_bytes(old, new) -> int:
+    """'Total size of both XML documents in bytes' — Figure 4's x-axis."""
+    return len(serialize_bytes(old)) + len(serialize_bytes(new))
+
+
+def default_config() -> DiffConfig:
+    return DiffConfig()

@@ -1,0 +1,65 @@
+"""Quickstart: diff two XML documents, inspect and apply the delta.
+
+This walks the example the paper itself uses (Figure 2): a product
+catalog where one product is discontinued, another moves into the
+Discount section with a new price, and a brand-new product appears.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import apply_delta, diff, parse
+from repro.core import apply_backward, delta_byte_size, serialize_delta
+
+OLD = """\
+<Category>
+  <Title>Digital Cameras</Title>
+  <Discount>
+    <Product><Name>tx123</Name><Price>$499</Price></Product>
+  </Discount>
+  <NewProducts>
+    <Product><Name>zy456</Name><Price>$799</Price></Product>
+  </NewProducts>
+</Category>"""
+
+NEW = """\
+<Category>
+  <Title>Digital Cameras</Title>
+  <Discount>
+    <Product><Name>zy456</Name><Price>$699</Price></Product>
+  </Discount>
+  <NewProducts>
+    <Product><Name>abc</Name><Price>$899</Price></Product>
+  </NewProducts>
+</Category>"""
+
+
+def main() -> None:
+    old = parse(OLD)
+    new = parse(NEW)
+
+    # The one-call API: BULD matching + delta construction.
+    delta = diff(old, new)
+
+    print("operations found:")
+    for operation in delta:
+        print(f"  {operation!r}")
+    print()
+    print(f"operation counts: {delta.summary()}")
+    print(f"delta size:       {delta_byte_size(delta)} bytes")
+    print()
+    print("delta as XML (how Xyleme stores it):")
+    print(serialize_delta(delta))
+    print()
+
+    # Completed deltas replay in both directions.
+    forward = apply_delta(delta, old, verify=True)
+    assert forward.deep_equal(new)
+    print("applied forward:  old + delta == new   OK")
+
+    backward = apply_backward(delta, new, verify=True)
+    assert backward.deep_equal(old)
+    print("applied backward: new - delta == old   OK")
+
+
+if __name__ == "__main__":
+    main()

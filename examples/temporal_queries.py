@@ -1,0 +1,89 @@
+"""Querying the past: versions, node histories, cross-version changes.
+
+Section 2 ("Versions and Querying the past"): "one might want to ask a
+query about the past, e.g., ask for the value of some element at some
+previous time, and to query changes, e.g., ask for the list of items
+recently introduced in a catalog."  Persistent XIDs make both queries
+mechanical; this example shows them on a small product catalog that
+evolves over five versions.
+
+Run:  python examples/temporal_queries.py
+"""
+
+from repro import parse
+from repro.versioning import TemporalQueries, VersionStore
+
+VERSIONS = [
+    # v1: two products
+    """<catalog>
+       <product><name>compact-10</name><price>$199</price></product>
+       <product><name>zoom-20</name><price>$449</price></product>
+       </catalog>""",
+    # v2: zoom-20 gets cheaper, pro-30 appears
+    """<catalog>
+       <product><name>compact-10</name><price>$199</price></product>
+       <product><name>zoom-20</name><price>$399</price></product>
+       <product><name>pro-30</name><price>$999</price></product>
+       </catalog>""",
+    # v3: compact-10 is discontinued
+    """<catalog>
+       <product><name>zoom-20</name><price>$399</price></product>
+       <product><name>pro-30</name><price>$999</price></product>
+       </catalog>""",
+    # v4: pro-30 moves to the front (featured), price drops
+    """<catalog>
+       <product><name>pro-30</name><price>$899</price></product>
+       <product><name>zoom-20</name><price>$399</price></product>
+       </catalog>""",
+]
+
+
+def main() -> None:
+    store = VersionStore()
+    store.create("catalog", parse(VERSIONS[0]))
+    for text in VERSIONS[1:]:
+        delta = store.commit("catalog", parse(text))
+        print(
+            f"v{delta.base_version} -> v{delta.target_version}: "
+            f"{delta.summary()}"
+        )
+
+    queries = TemporalQueries(store)
+
+    # -- the value of an element at a previous time -------------------------
+    v1 = store.get_version("catalog", 1)
+    zoom_price_text = (
+        v1.root.find_all("product")[1].find("price").children[0]
+    )
+    xid = zoom_price_text.xid
+    print(f"\nzoom-20's price over time (XID {xid}):")
+    for version in range(1, store.current_version("catalog") + 1):
+        value = queries.value_at("catalog", xid, version)
+        print(f"  v{version}: {value}")
+
+    # -- full history of one node ------------------------------------------
+    print(f"\nevery recorded event for XID {xid}:")
+    for event in queries.history_of("catalog", xid).events:
+        print(
+            f"  v{event.base_version}->v{event.target_version} "
+            f"{event.kind}: {event.detail}"
+        )
+
+    # -- items recently introduced in the catalog ----------------------------
+    print("\nproducts introduced between v1 and v2:")
+    for xid_inserted in queries.inserted_between("catalog", 1, 2):
+        node = queries.node_at("catalog", xid_inserted, 2)
+        print(f"  XID {xid_inserted}: {node.text_content()}")
+
+    print("\nproducts discontinued between v1 and v4 (net):")
+    for xid_deleted in queries.deleted_between("catalog", 1, 4):
+        node = queries.node_at("catalog", xid_deleted, 1)
+        print(f"  XID {xid_deleted}: {node.text_content()}")
+
+    # -- one aggregated delta spanning the whole history --------------------
+    combined = store.changes_between("catalog", 1, 4)
+    print(f"\nall changes v1 -> v4 in one delta: {combined.summary()}")
+
+
+if __name__ == "__main__":
+    main()

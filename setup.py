@@ -1,0 +1,6 @@
+"""Legacy shim so ``pip install -e .`` works on offline machines without
+the ``wheel`` package (pip falls back to ``setup.py develop``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro — a faithful reproduction of *Detecting Changes in XML Documents*.
+
+This package implements the XyDiff system described by Cobéna, Abiteboul and
+Marian (ICDE 2002): the BULD diff algorithm for XML trees, the completed
+delta model over persistent identifiers (XIDs), and the surrounding
+Xyleme-style change-control machinery (version repository, temporal queries,
+subscriptions, incremental text index), together with the baselines and the
+workload generators used by the paper's evaluation.
+
+Quickstart::
+
+    from repro import parse, diff, apply_delta
+
+    old = parse("<a><b>1</b></a>")
+    new = parse("<a><b>2</b></a>")
+    delta = diff(old, new)
+    assert apply_delta(delta, old).deep_equal(new)
+
+The public surface is re-exported here; see the subpackages for the full API:
+
+- :mod:`repro.xmlkit` — XML document model, parser, serializer, DTD support.
+- :mod:`repro.core` — BULD matching, deltas, apply/invert/aggregate.
+- :mod:`repro.baselines` — Lu/Selkow, LaDiff, Zhang–Shasha, DiffMK, Unix diff.
+- :mod:`repro.versioning` — repository, version control, alerter, text index.
+- :mod:`repro.simulator` — document generators and the change simulator.
+"""
+
+from repro.xmlkit import (
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+    XmlParseError,
+    parse,
+    parse_file,
+    serialize,
+)
+from repro.core import (
+    Delta,
+    DiffConfig,
+    apply_backward,
+    apply_delta,
+    aggregate,
+    diff,
+    invert,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Comment",
+    "Delta",
+    "DiffConfig",
+    "Document",
+    "Element",
+    "ProcessingInstruction",
+    "Text",
+    "XmlParseError",
+    "aggregate",
+    "apply_backward",
+    "apply_delta",
+    "diff",
+    "invert",
+    "parse",
+    "parse_file",
+    "serialize",
+    "__version__",
+]

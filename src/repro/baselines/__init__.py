@@ -1,0 +1,31 @@
+"""Baseline algorithms the paper compares against (Section 3).
+
+- :mod:`repro.baselines.unixdiff` — Myers line diff with Unix "normal"
+  output (the Figure 6 comparator).
+- :mod:`repro.baselines.diffmk` — DiffMK-style flattened-list diff.
+- :mod:`repro.baselines.lu` — Lu's quadratic tree diff, Selkow variant.
+- :mod:`repro.baselines.ladiff` — LaDiff/Chawathe-96 similarity matching.
+- :mod:`repro.baselines.zhang_shasha` — exact ordered tree edit distance.
+"""
+
+from repro.baselines.diffmk import DiffMkResult, diffmk, flatten
+from repro.baselines.ladiff import LaDiffConfig, ladiff_diff, ladiff_match
+from repro.baselines.lu import LuResult, lu_diff, lu_match
+from repro.baselines.unixdiff import patch, unix_diff, unix_diff_size
+from repro.baselines.zhang_shasha import tree_edit_distance
+
+__all__ = [
+    "DiffMkResult",
+    "LaDiffConfig",
+    "LuResult",
+    "diffmk",
+    "flatten",
+    "ladiff_diff",
+    "ladiff_match",
+    "lu_diff",
+    "lu_match",
+    "patch",
+    "tree_edit_distance",
+    "unix_diff",
+    "unix_diff_size",
+]

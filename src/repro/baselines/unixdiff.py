@@ -1,0 +1,170 @@
+"""A Unix ``diff`` work-alike (Myers line diff, "normal" output format).
+
+Figure 6 of the paper compares delta sizes against the output of Unix
+``diff`` run on the serialized documents.  To keep the experiment
+self-contained (and byte-accountable), this module reimplements the
+comparator: Myers' O((N+M)·D) algorithm over lines, formatted as the
+classic *normal* diff script (``3c4`` / ``5d4`` / ``7a8,9`` commands with
+``<`` / ``---`` / ``>`` detail lines).
+
+A :func:`patch` function applies such a script, so the tests can assert the
+defining property of the tool: ``patch(old, unix_diff(old, new)) == new``.
+
+The paper's observation that "some XML documents may contain very long
+lines" (hurting a line-based diff) is directly reproducible here: pass a
+compactly-serialized document and the script degenerates to a whole-file
+replacement.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.lcs import myers_opcodes
+
+__all__ = ["patch", "unix_diff", "unix_diff_size"]
+
+_COMMAND_RE = re.compile(r"^(\d+)(?:,(\d+))?([acd])(\d+)(?:,(\d+))?$")
+
+
+def _split_lines(text: str) -> list[str]:
+    """Split into lines without trailing newlines (diff line units)."""
+    if not text:
+        return []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # trailing newline does not create an empty last line
+    return lines
+
+
+def _span(start: int, end: int) -> str:
+    """1-based inclusive range in diff notation (``4`` or ``4,7``)."""
+    if end - start == 1:
+        return str(start + 1)
+    return f"{start + 1},{end}"
+
+
+def unix_diff(old_text: str, new_text: str) -> str:
+    """Normal-format diff script turning ``old_text`` into ``new_text``."""
+    old_lines = _split_lines(old_text)
+    new_lines = _split_lines(new_text)
+    opcodes = myers_opcodes(old_lines, new_lines)
+
+    # Merge adjacent delete+insert (either order) into change commands.
+    merged: list[tuple[str, int, int, int, int]] = []
+    for opcode in opcodes:
+        tag = opcode[0]
+        if tag == "equal":
+            merged.append(opcode)
+            continue
+        if merged and merged[-1][0] in ("delete", "insert", "change"):
+            previous = merged[-1]
+            if {previous[0], tag} == {"delete", "insert"}:
+                merged[-1] = (
+                    "change",
+                    min(previous[1], opcode[1]),
+                    max(previous[2], opcode[2]),
+                    min(previous[3], opcode[3]),
+                    max(previous[4], opcode[4]),
+                )
+                continue
+        merged.append(opcode)
+
+    output: list[str] = []
+    for tag, i1, i2, j1, j2 in merged:
+        if tag == "equal":
+            continue
+        if tag == "delete":
+            output.append(f"{_span(i1, i2)}d{j1}")
+            output.extend(f"< {line}" for line in old_lines[i1:i2])
+        elif tag == "insert":
+            output.append(f"{i1}a{_span(j1, j2)}")
+            output.extend(f"> {line}" for line in new_lines[j1:j2])
+        else:  # change
+            output.append(f"{_span(i1, i2)}c{_span(j1, j2)}")
+            output.extend(f"< {line}" for line in old_lines[i1:i2])
+            output.append("---")
+            output.extend(f"> {line}" for line in new_lines[j1:j2])
+    if not output:
+        return ""
+    return "\n".join(output) + "\n"
+
+
+def unix_diff_size(old_text: str, new_text: str) -> int:
+    """Byte size of the diff script (the unit of Figure 6's ratio)."""
+    return len(unix_diff(old_text, new_text).encode("utf-8"))
+
+
+def patch(old_text: str, script: str) -> str:
+    """Apply a normal-format diff script produced by :func:`unix_diff`.
+
+    Raises:
+        ValueError: on malformed scripts.
+    """
+    old_lines = _split_lines(old_text)
+    commands = _parse_script(script)
+    # Apply in reverse line order so earlier offsets stay valid.
+    result = list(old_lines)
+    for command in reversed(commands):
+        kind, o1, o2, new_lines = command
+        if kind == "d":
+            del result[o1:o2]
+        elif kind == "a":
+            # append AFTER old line o1 (o1 is 0-based exclusive start here)
+            result[o1:o1] = new_lines
+        else:  # change
+            result[o1:o2] = new_lines
+    if not result:
+        return ""
+    return "\n".join(result) + "\n"
+
+
+def _parse_script(script: str):
+    commands = []
+    lines = _split_lines(script)
+    position = 0
+    while position < len(lines):
+        match = _COMMAND_RE.match(lines[position])
+        if match is None:
+            raise ValueError(f"malformed diff command: {lines[position]!r}")
+        position += 1
+        o_start = int(match.group(1))
+        o_end = int(match.group(2)) if match.group(2) else o_start
+        kind = match.group(3)
+        n_start = int(match.group(4))
+        n_end = int(match.group(5)) if match.group(5) else n_start
+
+        old_count = o_end - o_start + 1 if kind in ("c", "d") else 0
+        new_count = n_end - n_start + 1 if kind in ("c", "a") else 0
+
+        removed: list[str] = []
+        for _ in range(old_count):
+            removed.append(_detail(lines, position, "< "))
+            position += 1
+        if kind == "c":
+            if position >= len(lines) or lines[position] != "---":
+                raise ValueError("change command missing '---' separator")
+            position += 1
+        added: list[str] = []
+        for _ in range(new_count):
+            added.append(_detail(lines, position, "> "))
+            position += 1
+
+        if kind == "d":
+            commands.append(("d", o_start - 1, o_end, []))
+        elif kind == "a":
+            commands.append(("a", o_start, o_start, added))
+        else:
+            commands.append(("c", o_start - 1, o_end, added))
+    return commands
+
+
+def _detail(lines: list[str], position: int, prefix: str) -> str:
+    if position >= len(lines) or not lines[position].startswith(prefix.rstrip()):
+        raise ValueError(f"missing detail line at {position}")
+    line = lines[position]
+    if line == prefix.rstrip():
+        return ""  # "< " with empty content serializes as "<"... keep safe
+    if not line.startswith(prefix):
+        raise ValueError(f"bad detail line {line!r}")
+    return line[len(prefix):]

@@ -1,0 +1,509 @@
+"""Command-line interface: ``xydiff`` / ``python -m repro``.
+
+Subcommands mirror the library's main capabilities:
+
+- ``diff OLD NEW``      — compute a delta, print it as XML (or stats).
+- ``apply DOC DELTA``   — apply a delta forward.
+- ``revert DOC DELTA``  — apply a delta backward (reconstruct the old version).
+- ``invert DELTA``      — print the inverse delta.
+- ``stats OLD NEW``     — per-phase timings and operation counts.
+- ``generate``          — emit a synthetic document (generic or catalog).
+- ``simulate DOC``      — run the change simulator, emit the new version
+  and/or the perfect delta.
+
+All commands read/write XML on files or stdin/stdout (``-``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.apply import apply_backward, apply_delta
+from repro.core.config import DiffConfig
+from repro.core.deltaxml import (
+    delta_byte_size,
+    parse_delta,
+    serialize_delta,
+)
+from repro.core.diff import diff, diff_with_stats
+from repro.simulator.change_simulator import SimulatorConfig, simulate_changes
+from repro.simulator.generator import (
+    GeneratorConfig,
+    generate_catalog,
+    generate_document,
+)
+from repro.xmlkit.errors import ReproError
+from repro.xmlkit.parser import parse
+from repro.xmlkit.serializer import serialize
+
+__all__ = ["main"]
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _write(path: str, text: str) -> None:
+    if path == "-":
+        sys.stdout.write(text)
+        if not text.endswith("\n"):
+            sys.stdout.write("\n")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def _load_document(path: str, keep_whitespace: bool):
+    return parse(_read(path), strip_whitespace=not keep_whitespace)
+
+
+def _label_document(document, xidmap_path: str | None) -> None:
+    """Attach XIDs to a parsed document.
+
+    Serialized XML does not carry XIDs; the paper's system keeps an
+    *XID-map* alongside each stored document.  The CLI does the same with
+    a sidecar file (``--xidmap``); without one, postorder labelling is
+    used — correct for any document that served as a diff base.
+    """
+    from repro.core.xid import (
+        DOCUMENT_XID,
+        assign_initial_xids,
+        parse_xid_map,
+    )
+    from repro.xmlkit.errors import DeltaError
+    from repro.xmlkit.model import postorder
+
+    if xidmap_path is None:
+        assign_initial_xids(document)
+        return
+    xids = parse_xid_map(_read(xidmap_path).strip())
+    nodes = [node for node in postorder(document) if node is not document]
+    if len(xids) != len(nodes):
+        raise DeltaError(
+            f"xidmap lists {len(xids)} XIDs but the document has "
+            f"{len(nodes)} nodes"
+        )
+    for node, xid in zip(nodes, xids):
+        node.xid = xid
+    document.xid = DOCUMENT_XID
+
+
+def _write_xidmap(document, path: str | None) -> None:
+    if path is None:
+        return
+    from repro.core.xid import format_xid_map
+    from repro.xmlkit.model import postorder
+
+    xids = [
+        node.xid for node in postorder(document) if node is not document
+    ]
+    _write(path, format_xid_map(xids) + "\n")
+
+
+def _config_from_args(args) -> DiffConfig:
+    return DiffConfig(
+        use_id_attributes=not args.no_ids,
+        optimization_passes=args.passes,
+    ).validate()
+
+
+def _cmd_diff(args) -> int:
+    old = _load_document(args.old, args.keep_whitespace)
+    new = _load_document(args.new, args.keep_whitespace)
+    delta = diff(old, new, _config_from_args(args))
+    _write(args.output, serialize_delta(delta))
+    _write_xidmap(new, args.new_xidmap)
+    return 0
+
+
+def _cmd_apply(args) -> int:
+    document = _load_document(args.document, True)
+    _label_document(document, args.xidmap)
+    delta = parse_delta(_read(args.delta))
+    result = apply_delta(delta, document, verify=args.verify)
+    _write(args.output, serialize(result))
+    _write_xidmap(result, args.xidmap_out)
+    return 0
+
+
+def _cmd_revert(args) -> int:
+    document = _load_document(args.document, True)
+    _label_document(document, args.xidmap)
+    delta = parse_delta(_read(args.delta))
+    result = apply_backward(delta, document, verify=args.verify)
+    _write(args.output, serialize(result))
+    _write_xidmap(result, args.xidmap_out)
+    return 0
+
+
+def _cmd_invert(args) -> int:
+    delta = parse_delta(_read(args.delta))
+    _write(args.output, serialize_delta(delta.inverted()))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    old = _load_document(args.old, args.keep_whitespace)
+    new = _load_document(args.new, args.keep_whitespace)
+    delta, stats = diff_with_stats(old, new, _config_from_args(args))
+    lines = [
+        f"old nodes:      {stats.old_nodes}",
+        f"new nodes:      {stats.new_nodes}",
+        f"matched nodes:  {stats.matched_nodes}",
+        f"delta bytes:    {delta_byte_size(delta)}",
+        "operations:     "
+        + (
+            ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(stats.operation_counts.items())
+            )
+            or "none"
+        ),
+    ]
+    for phase in ("phase1", "phase2", "phase3", "phase4", "phase5"):
+        lines.append(
+            f"{phase} seconds: {stats.phase_seconds.get(phase, 0.0):.6f}"
+        )
+    lines.append(f"total seconds:  {stats.total_seconds:.6f}")
+    _write(args.output, "\n".join(lines) + "\n")
+    return 0
+
+
+def _cmd_sitediff(args) -> int:
+    import fnmatch
+    import os
+
+    from repro.core.deltaxml import delta_byte_size
+    from repro.versioning.sitediff import SiteSnapshot, diff_sites
+
+    def snapshot_from_directory(root: str) -> SiteSnapshot:
+        snapshot = SiteSnapshot()
+        for directory, _, names in sorted(os.walk(root)):
+            for name in sorted(names):
+                if not fnmatch.fnmatch(name, args.pattern):
+                    continue
+                path = os.path.join(directory, name)
+                key = os.path.relpath(path, root)
+                with open(path, "r", encoding="utf-8") as handle:
+                    snapshot.add(key, parse(handle.read()))
+        return snapshot
+
+    old_snapshot = snapshot_from_directory(args.old_dir)
+    new_snapshot = snapshot_from_directory(args.new_dir)
+    site_delta = diff_sites(old_snapshot, new_snapshot)
+
+    lines = []
+    for key in site_delta.added:
+        lines.append(f"added     {key}")
+    for key in site_delta.removed:
+        lines.append(f"removed   {key}")
+    for key, delta in sorted(site_delta.changed.items()):
+        summary = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(delta.summary().items())
+        )
+        lines.append(f"changed   {key}  ({summary})")
+        if args.deltas_dir:
+            os.makedirs(args.deltas_dir, exist_ok=True)
+            target = os.path.join(
+                args.deltas_dir, key.replace(os.sep, "_") + ".delta.xml"
+            )
+            _write(target, serialize_delta(delta))
+    for key in site_delta.unchanged:
+        lines.append(f"unchanged {key}")
+    lines.append(
+        f"summary: {site_delta.summary()} "
+        f"({site_delta.change_ratio():.0%} of documents touched, "
+        f"change stream {site_delta.delta_bytes()} bytes)"
+    )
+    _write(args.output, "\n".join(lines) + "\n")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.core.validate import validate_delta
+    from repro.core.xid import assign_initial_xids, max_xid
+
+    delta = parse_delta(_read(args.delta))
+    base = None
+    if args.base is not None:
+        base = _load_document(args.base, True)
+        if max_xid(base) == 0:
+            assign_initial_xids(base)
+    problems = validate_delta(delta, base)
+    for problem in problems:
+        print(f"{problem.severity}: [{problem.code}] {problem.message}")
+    errors = sum(1 for p in problems if p.severity == "error")
+    if not problems:
+        print("delta is clean")
+    return 1 if errors else 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.core.explain import explain_delta
+
+    old = _load_document(args.old, args.keep_whitespace)
+    new = _load_document(args.new, args.keep_whitespace)
+    delta = diff(old, new, _config_from_args(args))
+    _write(args.output, explain_delta(delta, old, new) + "\n")
+    return 0
+
+
+def _cmd_htmlize(args) -> int:
+    from repro.xmlkit.htmlize import htmlize
+
+    document = htmlize(_read(args.html), keep_comments=args.keep_comments)
+    _write(args.output, serialize(document, indent=2 if args.pretty else None))
+    return 0
+
+
+def _cmd_infer_dtd(args) -> int:
+    from repro.xmlkit.dtd import format_dtd
+    from repro.xmlkit.infer import infer_dtd
+
+    documents = [parse(_read(path)) for path in args.documents]
+    dtd = infer_dtd(documents)
+    _write(args.output, format_dtd(dtd) + "\n")
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    from repro.core.xid import assign_initial_xids
+    from repro.versioning.merge import merge
+
+    base = _load_document(args.base, True)
+    assign_initial_xids(base)
+    ours = diff(base, _load_document(args.ours, True), DiffConfig())
+    theirs = diff(base, _load_document(args.theirs, True), DiffConfig())
+    result = merge(base, ours, theirs, prefer=args.prefer)
+    _write(args.output, serialize(result.document))
+    for conflict in result.conflicts:
+        print(
+            f"conflict [{conflict.kind}] at XID {conflict.xid}: kept the "
+            f"{args.prefer!r} side",
+            file=sys.stderr,
+        )
+    return 0 if result.is_clean or not args.strict else 1
+
+
+def _cmd_aggregate(args) -> int:
+    from repro.core.apply import aggregate
+    from repro.core.xid import assign_initial_xids, max_xid
+
+    base = _load_document(args.base, True)
+    if max_xid(base) == 0:
+        assign_initial_xids(base)
+    deltas = [parse_delta(_read(path)) for path in args.deltas]
+    combined = aggregate(deltas, base)
+    _write(args.output, serialize_delta(combined))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "catalog":
+        document = generate_catalog(
+            products=args.nodes // 6 or 1, seed=args.seed, with_ids=args.with_ids
+        )
+    else:
+        document = generate_document(
+            GeneratorConfig(target_nodes=args.nodes, seed=args.seed)
+        )
+    _write(args.output, serialize(document, indent=2 if args.pretty else None))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    document = _load_document(args.document, args.keep_whitespace)
+    config = SimulatorConfig(
+        delete_probability=args.delete,
+        update_probability=args.update,
+        insert_probability=args.insert,
+        move_probability=args.move,
+        seed=args.seed,
+    )
+    result = simulate_changes(document, config)
+    _write(args.output, serialize(result.new_document))
+    if args.delta_output:
+        _write(args.delta_output, serialize_delta(result.perfect_delta))
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(result.counts.items()))
+    print(f"simulated: {summary}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xydiff",
+        description="XML change detection (XyDiff / BULD reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("-o", "--output", default="-", help="output file")
+        sub.add_argument(
+            "--keep-whitespace",
+            action="store_true",
+            help="preserve whitespace-only text nodes",
+        )
+
+    sub = subparsers.add_parser("diff", help="compute a delta")
+    sub.add_argument("old")
+    sub.add_argument("new")
+    sub.add_argument("--no-ids", action="store_true",
+                     help="ignore DTD ID attributes")
+    sub.add_argument("--passes", type=int, default=2,
+                     help="phase-4 optimization passes")
+    sub.add_argument("--new-xidmap", default=None,
+                     help="write the new version's XID-map here "
+                          "(needed to later revert from the new version)")
+    add_common(sub)
+    sub.set_defaults(func=_cmd_diff)
+
+    sub = subparsers.add_parser("apply", help="apply a delta forward")
+    sub.add_argument("document")
+    sub.add_argument("delta")
+    sub.add_argument("--verify", action="store_true")
+    sub.add_argument("--xidmap", default=None,
+                     help="XID-map of the input document "
+                          "(default: postorder labelling)")
+    sub.add_argument("--xidmap-out", default=None,
+                     help="write the result's XID-map here")
+    sub.add_argument("-o", "--output", default="-")
+    sub.set_defaults(func=_cmd_apply)
+
+    sub = subparsers.add_parser("revert", help="apply a delta backward")
+    sub.add_argument("document")
+    sub.add_argument("delta")
+    sub.add_argument("--verify", action="store_true")
+    sub.add_argument("--xidmap", default=None,
+                     help="XID-map of the input (new) document; produce it "
+                          "with 'diff --new-xidmap' or 'apply --xidmap-out'")
+    sub.add_argument("--xidmap-out", default=None,
+                     help="write the result's XID-map here")
+    sub.add_argument("-o", "--output", default="-")
+    sub.set_defaults(func=_cmd_revert)
+
+    sub = subparsers.add_parser("invert", help="invert a delta")
+    sub.add_argument("delta")
+    sub.add_argument("-o", "--output", default="-")
+    sub.set_defaults(func=_cmd_invert)
+
+    sub = subparsers.add_parser("stats", help="diff with phase timings")
+    sub.add_argument("old")
+    sub.add_argument("new")
+    sub.add_argument("--no-ids", action="store_true")
+    sub.add_argument("--passes", type=int, default=2)
+    add_common(sub)
+    sub.set_defaults(func=_cmd_stats)
+
+    sub = subparsers.add_parser(
+        "sitediff", help="diff two directories of XML documents"
+    )
+    sub.add_argument("old_dir")
+    sub.add_argument("new_dir")
+    sub.add_argument("--pattern", default="*.xml",
+                     help="filename glob (default *.xml)")
+    sub.add_argument("--deltas-dir", default=None,
+                     help="write per-document delta files here")
+    sub.add_argument("-o", "--output", default="-")
+    sub.set_defaults(func=_cmd_sitediff)
+
+    sub = subparsers.add_parser(
+        "validate", help="check a delta file for structural problems"
+    )
+    sub.add_argument("delta")
+    sub.add_argument("--base", default=None,
+                     help="base document for external checks")
+    sub.set_defaults(func=_cmd_validate)
+
+    sub = subparsers.add_parser(
+        "explain", help="describe the changes between two documents in prose"
+    )
+    sub.add_argument("old")
+    sub.add_argument("new")
+    sub.add_argument("--no-ids", action="store_true")
+    sub.add_argument("--passes", type=int, default=2)
+    add_common(sub)
+    sub.set_defaults(func=_cmd_explain)
+
+    sub = subparsers.add_parser(
+        "htmlize", help="convert (tag-soup) HTML to well-formed XML"
+    )
+    sub.add_argument("html")
+    sub.add_argument("--keep-comments", action="store_true")
+    sub.add_argument("--pretty", action="store_true")
+    sub.add_argument("-o", "--output", default="-")
+    sub.set_defaults(func=_cmd_htmlize)
+
+    sub = subparsers.add_parser(
+        "infer-dtd", help="infer a DTD (incl. ID attributes) from documents"
+    )
+    sub.add_argument("documents", nargs="+")
+    sub.add_argument("-o", "--output", default="-")
+    sub.set_defaults(func=_cmd_infer_dtd)
+
+    sub = subparsers.add_parser(
+        "merge", help="three-way merge two edits of a common base"
+    )
+    sub.add_argument("base")
+    sub.add_argument("ours")
+    sub.add_argument("theirs")
+    sub.add_argument("--prefer", choices=("ours", "theirs"), default="ours")
+    sub.add_argument("--strict", action="store_true",
+                     help="exit nonzero when conflicts were detected")
+    sub.add_argument("-o", "--output", default="-")
+    sub.set_defaults(func=_cmd_merge)
+
+    sub = subparsers.add_parser(
+        "aggregate", help="compose a chain of deltas into one"
+    )
+    sub.add_argument("base", help="the version the first delta applies to")
+    sub.add_argument("deltas", nargs="+")
+    sub.add_argument("-o", "--output", default="-")
+    sub.set_defaults(func=_cmd_aggregate)
+
+    sub = subparsers.add_parser("generate", help="generate a synthetic doc")
+    sub.add_argument("--kind", choices=("generic", "catalog"),
+                     default="generic")
+    sub.add_argument("--nodes", type=int, default=200)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--with-ids", action="store_true",
+                     help="declare catalog sku attributes as IDs")
+    sub.add_argument("--pretty", action="store_true")
+    sub.add_argument("-o", "--output", default="-")
+    sub.set_defaults(func=_cmd_generate)
+
+    sub = subparsers.add_parser(
+        "simulate", help="apply simulated changes to a document"
+    )
+    sub.add_argument("document")
+    sub.add_argument("--delete", type=float, default=0.1)
+    sub.add_argument("--update", type=float, default=0.1)
+    sub.add_argument("--insert", type=float, default=0.1)
+    sub.add_argument("--move", type=float, default=0.1)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--delta-output", default=None,
+                     help="also write the perfect delta here")
+    add_common(sub)
+    sub.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Data guides: structural summaries of documents.
+
+Section 5.2 (*Other XML features*): "the DTD or XMLSchema (or a data
+guide in absence of DTD) is an excellent structure to record statistical
+information.  It is therefore a useful tool to introduce learning
+features in the algorithm, e.g. learn that a price node is more likely to
+change than a description node."
+
+A :class:`DataGuide` is the classic strong-dataguide idea reduced to what
+the paper needs: the set of *label paths* occurring in one or more
+documents, with occurrence counts.  It answers "what shapes exist" and
+"how common is this path", and it is the denominator for the per-path
+change rates in :mod:`repro.versioning.statistics`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xmlkit.model import Document, Node
+from repro.xmlkit.path import label_path_of
+
+__all__ = ["DataGuide"]
+
+
+class DataGuide:
+    """Label-path summary over a set of documents."""
+
+    def __init__(self):
+        self._counts: dict[str, int] = {}
+        self._documents = 0
+
+    # -- building ------------------------------------------------------------
+
+    def add_document(self, document: Document) -> None:
+        """Fold one document's structure into the guide."""
+        self._documents += 1
+        # Iterative traversal carrying the label path avoids recomputing
+        # it per node (label_path_of would be O(depth) each).
+        stack: list[tuple[Node, str]] = [(document, "")]
+        while stack:
+            node, path = stack.pop()
+            kind = node.kind
+            if kind == "document":
+                for child in node.children:
+                    stack.append((child, path))
+                continue
+            if kind == "element":
+                here = f"{path}/{node.label}"
+                self._counts[here] = self._counts.get(here, 0) + 1
+                for child in node.children:
+                    stack.append((child, here))
+            else:
+                tail = "#text" if kind == "text" else f"#{kind}"
+                here = f"{path}/{tail}"
+                self._counts[here] = self._counts.get(here, 0) + 1
+
+    def merge(self, other: "DataGuide") -> "DataGuide":
+        """Fold another guide into this one (returns self)."""
+        for path, count in other._counts.items():
+            self._counts[path] = self._counts.get(path, 0) + count
+        self._documents += other._documents
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        return self._documents
+
+    def paths(self) -> list[str]:
+        """All label paths seen, sorted."""
+        return sorted(self._counts)
+
+    def count(self, path: str) -> int:
+        """Occurrences of a label path across the added documents."""
+        return self._counts.get(path, 0)
+
+    def contains(self, path: str) -> bool:
+        return path in self._counts
+
+    def children_of(self, path: str) -> list[str]:
+        """Paths exactly one level below ``path``."""
+        prefix = path.rstrip("/") + "/"
+        return sorted(
+            candidate
+            for candidate in self._counts
+            if candidate.startswith(prefix)
+            and "/" not in candidate[len(prefix):]
+        )
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def __repr__(self):
+        return (
+            f"<DataGuide paths={len(self._counts)} "
+            f"documents={self._documents}>"
+        )
+
+    @classmethod
+    def from_document(cls, document: Document) -> "DataGuide":
+        guide = cls()
+        guide.add_document(document)
+        return guide
+
+    @classmethod
+    def path_of_node(cls, node: Node) -> str:
+        """The label path key used by guides (same as label_path_of)."""
+        return label_path_of(node)

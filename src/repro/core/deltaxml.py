@@ -1,0 +1,406 @@
+"""Deltas as XML documents.
+
+"The diff output is stored as an XML document, namely a delta" (Section 2)
+— which is what makes change queries ordinary document queries in Xyleme.
+This module converts between :class:`~repro.core.delta.Delta` and its XML
+form, faithfully round-tripping every operation:
+
+.. code-block:: xml
+
+    <delta baseVersion="1" targetVersion="2">
+      <delete xid="7" xidMap="(3-7)" parentXid="8" pos="1">
+        <Product><Name>tx123</Name><Price>$499</Price></Product>
+      </delete>
+      <insert xid="20" xidMap="(16-20)" parentXid="14" pos="1">...</insert>
+      <move xid="13" fromParent="14" fromPos="1" toParent="8" toPos="1"/>
+      <update xid="11"><oldval>$799</oldval><newval>$699</newval></update>
+      <attr-update xid="4" name="status">
+        <oldval>new</oldval><newval>sale</newval>
+      </attr-update>
+    </delta>
+
+Payload subtrees (the content of deletes/inserts) are embedded verbatim;
+non-element payload roots are wrapped in ``xy:text`` / ``xy:comment`` /
+``xy:pi`` markers so they survive the trip.  Node XIDs ride in the
+``xidMap`` attribute (postorder, compressed ranges).
+
+Delta documents are always serialized **compactly**: inside payloads,
+whitespace is content, so pretty-printing would corrupt them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.delta import (
+    AttributeDelete,
+    AttributeInsert,
+    AttributeUpdate,
+    Delete,
+    Delta,
+    Insert,
+    Move,
+    Operation,
+    Update,
+)
+from repro.core.xid import parse_xid_map
+from repro.xmlkit.errors import DeltaError
+from repro.xmlkit.model import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+    postorder,
+)
+from repro.xmlkit.parser import parse
+from repro.xmlkit.serializer import serialize
+
+__all__ = [
+    "delta_byte_size",
+    "delta_from_document",
+    "delta_to_document",
+    "parse_delta",
+    "serialize_delta",
+]
+
+_WRAP_TEXT = "xy:text"
+_WRAP_COMMENT = "xy:comment"
+_WRAP_PI = "xy:pi"
+
+
+# ---------------------------------------------------------------------------
+# Delta -> XML
+# ---------------------------------------------------------------------------
+
+
+def delta_to_document(delta: Delta) -> Document:
+    """Render a delta as an XML document."""
+    root = Element("delta")
+    if delta.base_version is not None:
+        root.attributes["baseVersion"] = str(delta.base_version)
+    if delta.target_version is not None:
+        root.attributes["targetVersion"] = str(delta.target_version)
+    if delta.next_xid_before is not None:
+        root.attributes["nextXidBefore"] = str(delta.next_xid_before)
+    if delta.next_xid_after is not None:
+        root.attributes["nextXidAfter"] = str(delta.next_xid_after)
+    for operation in delta.operations:
+        root.append(_operation_to_element(operation))
+    return Document(root)
+
+
+def _operation_to_element(operation: Operation) -> Element:
+    kind = operation.kind
+    if kind in ("delete", "insert"):
+        element = Element(
+            kind,
+            {
+                "xid": str(operation.xid),
+                "xidMap": operation.xid_map,
+                "parentXid": str(operation.parent_xid),
+                "pos": str(operation.position),
+            },
+        )
+        element.append(_wrap_payload(operation.subtree))
+        return element
+    if kind == "move":
+        return Element(
+            "move",
+            {
+                "xid": str(operation.xid),
+                "fromParent": str(operation.from_parent_xid),
+                "fromPos": str(operation.from_position),
+                "toParent": str(operation.to_parent_xid),
+                "toPos": str(operation.to_position),
+            },
+        )
+    if kind == "update":
+        element = Element("update", {"xid": str(operation.xid)})
+        element.append(_value_element("oldval", operation.old_value))
+        element.append(_value_element("newval", operation.new_value))
+        return element
+    if kind == "attr-insert":
+        return Element(
+            "attr-insert",
+            {
+                "xid": str(operation.xid),
+                "name": operation.name,
+                "value": operation.value,
+            },
+        )
+    if kind == "attr-delete":
+        return Element(
+            "attr-delete",
+            {
+                "xid": str(operation.xid),
+                "name": operation.name,
+                "oldValue": operation.old_value,
+            },
+        )
+    if kind == "attr-update":
+        element = Element(
+            "attr-update",
+            {"xid": str(operation.xid), "name": operation.name},
+        )
+        element.append(_value_element("oldval", operation.old_value))
+        element.append(_value_element("newval", operation.new_value))
+        return element
+    raise DeltaError(f"cannot serialize operation kind {kind!r}")
+
+
+def _value_element(label: str, value: str) -> Element:
+    element = Element(label)
+    if value:
+        element.append(Text(value))
+    return element
+
+
+def _wrap_payload(subtree: Node) -> Node:
+    """Clone a payload subtree, wrapping nodes XML cannot carry verbatim.
+
+    Non-element roots always need a marker element.  *Inside* the payload,
+    two cases would not survive a serialize/parse round trip and are
+    wrapped too: empty text nodes (serialize to nothing) and text nodes
+    adjacent to a preceding text sibling (payload "holes" left by moved
+    descendants — adjacent text merges on reparse).  Element names in the
+    ``xy:`` prefix are reserved for these markers.
+    """
+    clone = subtree.clone(keep_xids=True)
+    if clone.kind == "element":
+        _wrap_fragile_descendants(clone)
+        return clone
+    if clone.kind == "text":
+        return _wrap_leaf(clone)
+    if clone.kind in ("comment", "pi"):
+        return _wrap_leaf(clone)
+    raise DeltaError(f"cannot embed payload of kind {clone.kind!r}")
+
+
+def _wrap_leaf(leaf: Node) -> Element:
+    if leaf.kind == "text":
+        wrapper = Element(_WRAP_TEXT)
+    elif leaf.kind == "comment":
+        wrapper = Element(_WRAP_COMMENT)
+    else:
+        wrapper = Element(_WRAP_PI, {"target": leaf.target})
+    if leaf.value:
+        wrapper.append(Text(leaf.value))
+    return wrapper
+
+
+def _wrap_fragile_descendants(root: Element) -> None:
+    stack = [root]
+    while stack:
+        element = stack.pop()
+        previous_raw_text = False
+        children = element.children
+        for index, child in enumerate(list(children)):
+            if child.kind == "text":
+                if child.value == "" or previous_raw_text:
+                    wrapper = _wrap_leaf(child)
+                    wrapper.parent = element
+                    children[index] = wrapper
+                    previous_raw_text = False
+                else:
+                    previous_raw_text = True
+            else:
+                previous_raw_text = False
+                if child.kind == "element":
+                    stack.append(child)
+
+
+# ---------------------------------------------------------------------------
+# XML -> Delta
+# ---------------------------------------------------------------------------
+
+
+def delta_from_document(document: Document) -> Delta:
+    """Rebuild a delta from its XML form.
+
+    Raises:
+        DeltaError: when the document is not a well-formed delta.
+    """
+    root = document.root
+    if root is None or root.label != "delta":
+        raise DeltaError("not a delta document (root must be <delta>)")
+    delta = Delta(
+        base_version=_int_attribute(root, "baseVersion"),
+        target_version=_int_attribute(root, "targetVersion"),
+        next_xid_before=_int_attribute(root, "nextXidBefore"),
+        next_xid_after=_int_attribute(root, "nextXidAfter"),
+    )
+    for child in root.children:
+        if child.kind == "text" and not child.value.strip():
+            continue  # indentation between operations
+        if child.kind != "element":
+            raise DeltaError(f"unexpected {child.kind} node inside <delta>")
+        delta.operations.append(_operation_from_element(child))
+    return delta
+
+
+def _operation_from_element(element: Element) -> Operation:
+    label = element.label
+    if label in ("delete", "insert"):
+        xid = _required_int(element, "xid")
+        parent_xid = _required_int(element, "parentXid")
+        position = _required_int(element, "pos")
+        payload = _unwrap_payload(element)
+        _relabel_payload(payload, element.get("xidMap"), xid)
+        if label == "delete":
+            return Delete(xid, parent_xid, position, payload)
+        return Insert(xid, parent_xid, position, payload)
+    if label == "move":
+        return Move(
+            _required_int(element, "xid"),
+            _required_int(element, "fromParent"),
+            _required_int(element, "fromPos"),
+            _required_int(element, "toParent"),
+            _required_int(element, "toPos"),
+        )
+    if label == "update":
+        old_value, new_value = _old_and_new_values(element)
+        return Update(_required_int(element, "xid"), old_value, new_value)
+    if label == "attr-insert":
+        return AttributeInsert(
+            _required_int(element, "xid"),
+            _required_attr(element, "name"),
+            element.get("value", ""),
+        )
+    if label == "attr-delete":
+        return AttributeDelete(
+            _required_int(element, "xid"),
+            _required_attr(element, "name"),
+            element.get("oldValue", ""),
+        )
+    if label == "attr-update":
+        old_value, new_value = _old_and_new_values(element)
+        return AttributeUpdate(
+            _required_int(element, "xid"),
+            _required_attr(element, "name"),
+            old_value,
+            new_value,
+        )
+    raise DeltaError(f"unknown delta operation <{label}>")
+
+
+def _unwrap_payload(op_element: Element) -> Node:
+    payload_nodes = [
+        child
+        for child in op_element.children
+        if not (child.kind == "text" and not child.value.strip())
+    ]
+    if len(payload_nodes) != 1:
+        raise DeltaError(
+            f"<{op_element.label}> must contain exactly one payload subtree"
+        )
+    payload = payload_nodes[0].clone(keep_xids=True)
+    if payload.kind != "element":
+        raise DeltaError("payload root must be an element or a wrapper")
+    unwrapped = _collapse_wrapper(payload)
+    if unwrapped is not payload:
+        return unwrapped
+    _collapse_wrapped_descendants(payload)
+    return payload
+
+
+def _collapse_wrapper(element: Element) -> Node:
+    """Turn an xy:* marker element back into its leaf node (or return
+    the element unchanged when it is not a marker)."""
+    if element.label == _WRAP_TEXT:
+        return Text(element.text_content())
+    if element.label == _WRAP_COMMENT:
+        return Comment(element.text_content())
+    if element.label == _WRAP_PI:
+        return ProcessingInstruction(
+            element.get("target", ""), element.text_content()
+        )
+    return element
+
+
+def _collapse_wrapped_descendants(root: Element) -> None:
+    stack = [root]
+    while stack:
+        element = stack.pop()
+        children = element.children
+        for index, child in enumerate(list(children)):
+            if child.kind != "element":
+                continue
+            collapsed = _collapse_wrapper(child)
+            if collapsed is not child:
+                collapsed.parent = element
+                children[index] = collapsed
+            else:
+                stack.append(child)
+
+
+def _relabel_payload(payload: Node, xid_map: Optional[str], root_xid: int) -> None:
+    if xid_map is None:
+        raise DeltaError("payload is missing its xidMap attribute")
+    xids = parse_xid_map(xid_map)
+    nodes = list(postorder(payload))
+    if len(xids) != len(nodes):
+        raise DeltaError(
+            f"xidMap lists {len(xids)} XIDs for a payload of {len(nodes)} nodes"
+        )
+    for node, xid in zip(nodes, xids):
+        node.xid = xid
+    if payload.xid != root_xid:
+        raise DeltaError(
+            f"payload root XID {payload.xid} disagrees with xid={root_xid}"
+        )
+
+
+def _old_and_new_values(element: Element) -> tuple[str, str]:
+    old_element = element.find("oldval")
+    new_element = element.find("newval")
+    if old_element is None or new_element is None:
+        raise DeltaError(
+            f"<{element.label}> needs <oldval> and <newval> children"
+        )
+    return old_element.text_content(), new_element.text_content()
+
+
+def _int_attribute(element: Element, name: str) -> Optional[int]:
+    value = element.get(name)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise DeltaError(f"attribute {name}={value!r} is not an integer") from exc
+
+
+def _required_int(element: Element, name: str) -> int:
+    value = _int_attribute(element, name)
+    if value is None:
+        raise DeltaError(f"<{element.label}> is missing attribute {name!r}")
+    return value
+
+
+def _required_attr(element: Element, name: str) -> str:
+    value = element.get(name)
+    if value is None:
+        raise DeltaError(f"<{element.label}> is missing attribute {name!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# convenience
+# ---------------------------------------------------------------------------
+
+
+def serialize_delta(delta: Delta) -> str:
+    """Compact XML string of the delta (whitespace-safe)."""
+    return serialize(delta_to_document(delta))
+
+
+def parse_delta(text) -> Delta:
+    """Parse a string produced by :func:`serialize_delta`."""
+    return delta_from_document(parse(text, strip_whitespace=False))
+
+
+def delta_byte_size(delta: Delta) -> int:
+    """UTF-8 byte size of the delta's XML form — the paper's size metric."""
+    return len(serialize_delta(delta).encode("utf-8"))

@@ -1,0 +1,144 @@
+"""Public diff entry points.
+
+:func:`diff` is the one-call API: run BULD on two documents, build the
+delta.  :func:`diff_with_stats` additionally returns per-phase wall-clock
+timings and matching statistics — the instrumentation behind the paper's
+Figure 4 (time per phase vs document size).
+
+XID contract
+------------
+- If the old document carries no XIDs it is treated as a first version and
+  receives postorder XIDs 1..n **in place**.
+- The new document's nodes are labelled as a side effect: matched nodes
+  inherit their partner's XID, new nodes draw fresh ones from the
+  ``allocator`` (or ``max_xid(old)+1`` by default).  Handing the labelled
+  new document plus the returned delta to a version store is all it takes
+  to keep identifiers persistent across versions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.builder import build_delta
+from repro.core.buld import BuldMatcher
+from repro.core.config import DiffConfig
+from repro.core.delta import Delta
+from repro.core.xid import XidAllocator, assign_initial_xids, max_xid
+from repro.xmlkit.model import Document
+
+__all__ = ["DiffStats", "diff", "diff_with_stats"]
+
+
+@dataclass
+class DiffStats:
+    """Instrumentation of one diff run.
+
+    Attributes:
+        phase_seconds: Wall-clock seconds per phase, keyed ``"phase1"`` ..
+            ``"phase5"`` (phase 5 is delta construction).
+        old_nodes / new_nodes: Node counts of the two documents.
+        matched_nodes: Size of the final matching (document pair excluded).
+        operation_counts: Delta operations per kind.
+    """
+
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    old_nodes: int = 0
+    new_nodes: int = 0
+    matched_nodes: int = 0
+    operation_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    @property
+    def core_seconds(self) -> float:
+        """Phases 3+4 — what the paper calls "the core of the diff"."""
+        return self.phase_seconds.get("phase3", 0.0) + self.phase_seconds.get(
+            "phase4", 0.0
+        )
+
+
+def diff(
+    old_document: Document,
+    new_document: Document,
+    config: Optional[DiffConfig] = None,
+    *,
+    allocator: Optional[XidAllocator] = None,
+) -> Delta:
+    """Compute the delta transforming ``old_document`` into ``new_document``.
+
+    Args:
+        old_document: Base version; receives initial XIDs if unlabelled.
+        new_document: Target version; receives XIDs as a side effect.
+        config: Tuning knobs (:class:`DiffConfig`); defaults are the
+            paper's settings.
+        allocator: XID source for inserted nodes (version stores pass the
+            document's persistent allocator).
+
+    Returns:
+        A completed :class:`~repro.core.delta.Delta`; applying it to
+        ``old_document`` yields ``new_document`` exactly.
+    """
+    delta, _ = diff_with_stats(
+        old_document, new_document, config, allocator=allocator
+    )
+    return delta
+
+
+def diff_with_stats(
+    old_document: Document,
+    new_document: Document,
+    config: Optional[DiffConfig] = None,
+    *,
+    allocator: Optional[XidAllocator] = None,
+) -> tuple[Delta, DiffStats]:
+    """Like :func:`diff` but also returns per-phase statistics."""
+    if config is None:
+        config = DiffConfig()
+    config.validate()
+    stats = DiffStats()
+
+    if max_xid(old_document) == 0:
+        assign_initial_xids(old_document)
+    if allocator is None:
+        allocator = XidAllocator(max_xid(old_document) + 1)
+
+    matcher = BuldMatcher(old_document, new_document, config)
+
+    started = time.perf_counter()
+    matcher.phase2_annotate()
+    stats.phase_seconds["phase2"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    matcher.phase1_id_attributes()
+    stats.phase_seconds["phase1"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    matcher.phase3_match_subtrees()
+    stats.phase_seconds["phase3"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    matcher.phase4_propagate()
+    stats.phase_seconds["phase4"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    delta = build_delta(
+        old_document,
+        new_document,
+        matcher.matching,
+        allocator=allocator,
+        weights=matcher.new_annotations.weights,
+        exact_move_threshold=config.exact_move_threshold,
+        move_block_length=config.move_block_length,
+    )
+    stats.phase_seconds["phase5"] = time.perf_counter() - started
+
+    stats.old_nodes = matcher.old_annotations.node_count
+    stats.new_nodes = matcher.new_annotations.node_count
+    stats.matched_nodes = max(len(matcher.matching) - 1, 0)  # minus doc pair
+    stats.operation_counts = delta.summary()
+    return delta, stats

@@ -1,0 +1,165 @@
+"""Human-readable change explanations.
+
+Section 2, *Learning about changes*: the delta "allows to update the old
+version Vi and also to explain the changes to the user", in the spirit of
+the ICE information-exchange protocol.  This module renders a delta as
+prose a subscriber can read:
+
+    deleted  <Product> "tx123 $499" (5 nodes) from /Category/Discount
+    inserted <Product> "abc $899" (5 nodes) into /Category/NewProducts
+    moved    <Product> "zy456 $699" from /Category/NewProducts to /Category/Discount
+    updated  text at /Category/Discount/Product/Price: "$799" -> "$699"
+
+Paths resolve against the documents when provided (old document for
+sources, new document for targets); without them the explanation falls
+back to XIDs — still meaningful, since XIDs are persistent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.delta import Delta, Operation
+from repro.core.xid import xid_index
+from repro.xmlkit.model import Document, Node
+from repro.xmlkit.path import path_of
+
+__all__ = ["explain_delta", "explain_operation"]
+
+_PREVIEW_LENGTH = 40
+
+
+def _preview(text: str) -> str:
+    flattened = " ".join(text.split())
+    if len(flattened) > _PREVIEW_LENGTH:
+        return flattened[: _PREVIEW_LENGTH - 3] + "..."
+    return flattened
+
+
+def _describe_node(node: Node) -> str:
+    kind = node.kind
+    if kind == "element":
+        content = _preview(node.text_content())
+        suffix = f' "{content}"' if content else ""
+        return f"<{node.label}>{suffix}"
+    if kind == "text":
+        return f'text "{_preview(node.value)}"'
+    if kind == "comment":
+        return f'comment "{_preview(node.value)}"'
+    if kind == "pi":
+        return f"processing instruction <?{node.target}?>"
+    return kind
+
+
+def _place(index: Optional[dict[int, Node]], xid: int) -> str:
+    if index is not None:
+        node = index.get(xid)
+        if node is not None:
+            try:
+                return path_of(node)
+            except Exception:  # detached — fall through to the XID form
+                pass
+    return f"node #{xid}"
+
+
+def explain_operation(
+    operation: Operation,
+    old_index: Optional[dict[int, Node]] = None,
+    new_index: Optional[dict[int, Node]] = None,
+) -> str:
+    """One line of prose for a single operation."""
+    kind = operation.kind
+    if kind == "delete":
+        subject = _describe_node(operation.subtree)
+        size = operation.subtree.subtree_size()
+        where = _place(old_index, operation.parent_xid)
+        plural = "s" if size != 1 else ""
+        return f"deleted  {subject} ({size} node{plural}) from {where}"
+    if kind == "insert":
+        subject = _describe_node(operation.subtree)
+        size = operation.subtree.subtree_size()
+        where = _place(new_index, operation.parent_xid)
+        plural = "s" if size != 1 else ""
+        return f"inserted {subject} ({size} node{plural}) into {where}"
+    if kind == "move":
+        subject = "node"
+        if new_index is not None and operation.xid in new_index:
+            subject = _describe_node(new_index[operation.xid])
+        elif old_index is not None and operation.xid in old_index:
+            subject = _describe_node(old_index[operation.xid])
+        else:
+            subject = f"node #{operation.xid}"
+        source = _place(old_index, operation.from_parent_xid)
+        target = _place(new_index, operation.to_parent_xid)
+        if operation.from_parent_xid == operation.to_parent_xid:
+            return (
+                f"moved    {subject} within {source} "
+                f"(position {operation.from_position} -> "
+                f"{operation.to_position})"
+            )
+        return f"moved    {subject} from {source} to {target}"
+    if kind == "update":
+        where = _place(old_index, operation.xid)
+        return (
+            f"updated  {where}: \"{_preview(operation.old_value)}\" -> "
+            f"\"{_preview(operation.new_value)}\""
+        )
+    if kind == "attr-insert":
+        where = _place(new_index, operation.xid)
+        return (
+            f"set      attribute {operation.name}="
+            f"\"{_preview(operation.value)}\" on {where}"
+        )
+    if kind == "attr-delete":
+        where = _place(old_index, operation.xid)
+        return (
+            f"removed  attribute {operation.name} "
+            f"(was \"{_preview(operation.old_value)}\") from {where}"
+        )
+    if kind == "attr-update":
+        where = _place(new_index, operation.xid)
+        return (
+            f"changed  attribute {operation.name} on {where}: "
+            f"\"{_preview(operation.old_value)}\" -> "
+            f"\"{_preview(operation.new_value)}\""
+        )
+    return f"{kind} (XID {operation.xid})"  # pragma: no cover
+
+
+def explain_delta(
+    delta: Delta,
+    old_document: Optional[Document] = None,
+    new_document: Optional[Document] = None,
+) -> str:
+    """Multi-line prose description of a whole delta.
+
+    Args:
+        delta: The delta to narrate.
+        old_document / new_document: The versions the delta connects;
+            either may be omitted (XIDs are shown instead of paths).
+
+    Returns:
+        One line per operation in a stable order (deletes, inserts,
+        moves, updates, attribute changes), or ``"no changes"``.
+    """
+    if delta.is_empty():
+        return "no changes"
+    old_index = xid_index(old_document) if old_document is not None else None
+    new_index = xid_index(new_document) if new_document is not None else None
+    order = {
+        "delete": 0,
+        "insert": 1,
+        "move": 2,
+        "update": 3,
+        "attr-insert": 4,
+        "attr-delete": 4,
+        "attr-update": 4,
+    }
+    operations = sorted(
+        delta.operations,
+        key=lambda op: (order.get(op.kind, 9), op.xid),
+    )
+    return "\n".join(
+        explain_operation(operation, old_index, new_index)
+        for operation in operations
+    )

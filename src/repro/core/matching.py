@@ -1,0 +1,117 @@
+"""The matching between two document versions.
+
+A matching is a partial one-to-one correspondence between nodes of the old
+document and nodes of the new document.  Producing a good matching is "the
+first role" of the diff (Section 1); everything else — XID inheritance,
+delta construction — follows mechanically from it.
+
+Validity rules enforced here:
+
+- one-to-one: a node participates in at most one pair;
+- kind-preserving: elements match elements, text matches text, ...;
+- label-preserving: matched elements have equal labels (updates never
+  relabel an element — that is a delete + insert);
+- lock-respecting: a node locked by the ID-attribute phase (it carries an
+  ID whose value does not exist on the other side) can never be matched.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.xmlkit.model import Node
+
+__all__ = ["Matching", "MatchingError"]
+
+
+class MatchingError(ValueError):
+    """Raised on an attempt to create an invalid matching pair."""
+
+
+class Matching:
+    """Bidirectional node correspondence between an old and a new tree."""
+
+    __slots__ = ("_old_to_new", "_new_to_old", "_locked")
+
+    def __init__(self):
+        self._old_to_new: dict[Node, Node] = {}
+        self._new_to_old: dict[Node, Node] = {}
+        self._locked: set[Node] = set()
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, old: Node, new: Node) -> None:
+        """Record the pair ``old <-> new``.
+
+        Raises:
+            MatchingError: if either node is already matched or locked, or
+                the pair violates kind/label preservation.
+        """
+        if old.kind != new.kind:
+            raise MatchingError(
+                f"cannot match {old.kind} with {new.kind}"
+            )
+        if old.kind == "element" and old.label != new.label:
+            raise MatchingError(
+                f"cannot match element {old.label!r} with {new.label!r}"
+            )
+        if old.kind == "pi" and old.target != new.target:
+            raise MatchingError("cannot match processing instructions with "
+                                f"targets {old.target!r} and {new.target!r}")
+        if old in self._old_to_new:
+            raise MatchingError("old node is already matched")
+        if new in self._new_to_old:
+            raise MatchingError("new node is already matched")
+        if old in self._locked or new in self._locked:
+            raise MatchingError("node is locked by the ID-attribute phase")
+        self._old_to_new[old] = new
+        self._new_to_old[new] = old
+
+    def lock(self, node: Node) -> None:
+        """Forbid the node from ever being matched (ID-attribute rule)."""
+        if node in self._old_to_new or node in self._new_to_old:
+            raise MatchingError("cannot lock a matched node")
+        self._locked.add(node)
+
+    # -- queries -------------------------------------------------------------
+
+    def has_old(self, old: Node) -> bool:
+        return old in self._old_to_new
+
+    def has_new(self, new: Node) -> bool:
+        return new in self._new_to_old
+
+    def is_locked(self, node: Node) -> bool:
+        return node in self._locked
+
+    def can_match(self, old: Node, new: Node) -> bool:
+        """Whether :meth:`add` would accept the pair."""
+        if old.kind != new.kind:
+            return False
+        if old.kind == "element" and old.label != new.label:
+            return False
+        if old.kind == "pi" and old.target != new.target:
+            return False
+        if old in self._old_to_new or new in self._new_to_old:
+            return False
+        if old in self._locked or new in self._locked:
+            return False
+        return True
+
+    def new_of(self, old: Node) -> Optional[Node]:
+        """The new-document partner of an old node, or ``None``."""
+        return self._old_to_new.get(old)
+
+    def old_of(self, new: Node) -> Optional[Node]:
+        """The old-document partner of a new node, or ``None``."""
+        return self._new_to_old.get(new)
+
+    def pairs(self) -> Iterator[tuple[Node, Node]]:
+        """Iterate over all ``(old, new)`` pairs (insertion order)."""
+        return iter(self._old_to_new.items())
+
+    def __len__(self) -> int:
+        return len(self._old_to_new)
+
+    def __repr__(self):
+        return f"<Matching pairs={len(self)} locked={len(self._locked)}>"

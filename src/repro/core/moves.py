@@ -1,0 +1,161 @@
+"""Intra-parent move detection (Phase 5, step 2 of the paper).
+
+When the matched children of a matched parent pair appear in a different
+order in the new version, a minimum-cost set of moves is obtained by keeping
+a *largest order-preserving subsequence* and moving everything else.  The
+paper generalizes "largest" to "heaviest": keeping heavy subtrees in place
+and moving light ones minimizes the total cost of the move set.
+
+Two strategies are provided, matching the paper exactly:
+
+- :func:`heaviest_increasing_subsequence` — exact maximum-weight strictly
+  increasing subsequence in O(s log s) via a Fenwick (binary indexed) tree
+  over value ranks.
+- :func:`chunked_increasing_subsequence` — the paper's performance
+  heuristic: cut the child sequence into blocks of bounded length
+  (default 50), solve each block exactly, and merge the per-block answers,
+  dropping elements that break global monotonicity.  Linear time, possibly
+  sub-optimal (Figure 3's ``v4`` example is reproduced in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = [
+    "chunked_increasing_subsequence",
+    "heaviest_increasing_subsequence",
+]
+
+#: Block length the paper suggests for the chunked heuristic.
+DEFAULT_BLOCK_LENGTH = 50
+
+
+class _MaxFenwick:
+    """Fenwick tree supporting prefix-maximum queries over (score, payload)."""
+
+    __slots__ = ("_size", "_scores", "_payloads")
+
+    def __init__(self, size: int):
+        self._size = size
+        self._scores = [0.0] * (size + 1)
+        self._payloads: list[Optional[int]] = [None] * (size + 1)
+
+    def update(self, index: int, score: float, payload: int) -> None:
+        """Record ``score`` (with ``payload``) at 1-based ``index``."""
+        while index <= self._size:
+            if score > self._scores[index]:
+                self._scores[index] = score
+                self._payloads[index] = payload
+            index += index & (-index)
+
+    def prefix_max(self, index: int) -> tuple[float, Optional[int]]:
+        """Best (score, payload) among positions ``1..index`` (0 -> none)."""
+        best_score = 0.0
+        best_payload: Optional[int] = None
+        while index > 0:
+            if self._scores[index] > best_score:
+                best_score = self._scores[index]
+                best_payload = self._payloads[index]
+            index -= index & (-index)
+        return best_score, best_payload
+
+
+def heaviest_increasing_subsequence(
+    values: Sequence[int],
+    weights: Optional[Sequence[float]] = None,
+) -> tuple[float, list[int]]:
+    """Maximum-weight strictly increasing subsequence.
+
+    Args:
+        values: Comparable integers (typically target positions of matched
+            children; duplicates are allowed but cannot co-occur in a
+            strictly increasing subsequence).
+        weights: Per-element weights; defaults to 1.0 each, which reduces
+            the problem to the classic longest increasing subsequence.
+
+    Returns:
+        ``(total_weight, indices)`` where ``indices`` (ascending) select a
+        subsequence of ``values`` that is strictly increasing and of
+        maximum total weight.
+    """
+    n = len(values)
+    if n == 0:
+        return 0.0, []
+    if weights is None:
+        weights = [1.0] * n
+
+    # Coordinate-compress values to ranks 1..r for the Fenwick tree.
+    sorted_unique = sorted(set(values))
+    rank = {value: index + 1 for index, value in enumerate(sorted_unique)}
+
+    tree = _MaxFenwick(len(sorted_unique))
+    totals = [0.0] * n
+    parents: list[Optional[int]] = [None] * n
+    best_total = 0.0
+    best_index: Optional[int] = None
+
+    for i, value in enumerate(values):
+        value_rank = rank[value]
+        # Strictly increasing: best chain ending on a strictly smaller value.
+        prefix_total, prefix_index = tree.prefix_max(value_rank - 1)
+        totals[i] = prefix_total + weights[i]
+        parents[i] = prefix_index
+        tree.update(value_rank, totals[i], i)
+        if totals[i] > best_total:
+            best_total = totals[i]
+            best_index = i
+
+    chain: list[int] = []
+    cursor = best_index
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = parents[cursor]
+    chain.reverse()
+    return best_total, chain
+
+
+def chunked_increasing_subsequence(
+    values: Sequence[int],
+    weights: Optional[Sequence[float]] = None,
+    block_length: int = DEFAULT_BLOCK_LENGTH,
+) -> tuple[float, list[int]]:
+    """The paper's linear-time heuristic for very long child lists.
+
+    Cuts ``values`` into blocks of at most ``block_length``, solves each
+    block exactly with :func:`heaviest_increasing_subsequence`, then merges
+    the block solutions left to right, discarding any element that would
+    break the global strictly-increasing property.
+
+    The result is a valid increasing subsequence but may miss weight the
+    exact algorithm would keep (the paper's Figure 3 example: cutting
+    ``v2 v3 v4 | v5 v6`` style lists can lose ``v4``).
+
+    Returns:
+        ``(total_weight, indices)`` in the same format as the exact solver.
+    """
+    if block_length < 1:
+        raise ValueError("block_length must be >= 1")
+    n = len(values)
+    if n == 0:
+        return 0.0, []
+    if weights is None:
+        weights = [1.0] * n
+
+    kept: list[int] = []
+    total = 0.0
+    last_value: Optional[int] = None
+    for start in range(0, n, block_length):
+        end = min(start + block_length, n)
+        block_values = values[start:end]
+        block_weights = weights[start:end]
+        _, block_chain = heaviest_increasing_subsequence(
+            block_values, block_weights
+        )
+        for local_index in block_chain:
+            index = start + local_index
+            if last_value is None or values[index] > last_value:
+                kept.append(index)
+                total += weights[index]
+                last_value = values[index]
+    return total, kept

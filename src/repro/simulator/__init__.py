@@ -1,0 +1,43 @@
+"""Workload substrate: document generators and the change simulator.
+
+- :mod:`repro.simulator.generator` — synthetic documents and catalogs.
+- :mod:`repro.simulator.change_simulator` — the paper's change simulator,
+  returning the mutated document *and* the perfect ground-truth delta.
+- :mod:`repro.simulator.webcorpus` — simulated web crawl and site maps
+  (substitute for the paper's real crawled XML; see DESIGN.md).
+"""
+
+from repro.simulator.change_simulator import (
+    SimulationResult,
+    SimulatorConfig,
+    simulate_changes,
+)
+from repro.simulator.generator import (
+    GeneratorConfig,
+    generate_catalog,
+    generate_document,
+)
+from repro.simulator.webcorpus import (
+    WebCorpus,
+    WebCorpusConfig,
+    evolve_site,
+    generate_site_snapshot,
+    weekly_change_profile,
+)
+from repro.simulator.words import WORDS, make_text
+
+__all__ = [
+    "GeneratorConfig",
+    "SimulationResult",
+    "SimulatorConfig",
+    "WORDS",
+    "WebCorpus",
+    "WebCorpusConfig",
+    "evolve_site",
+    "generate_catalog",
+    "generate_document",
+    "generate_site_snapshot",
+    "make_text",
+    "simulate_changes",
+    "weekly_change_profile",
+]

@@ -1,0 +1,39 @@
+"""Small word corpus for synthetic text generation.
+
+The change simulator and the document generators compose text values from
+this vocabulary plus counters, matching the paper's "original text using
+counters" approach — generated text is unique when it must be, yet shares
+enough words with other text for similarity-based baselines (LaDiff) to
+have something to work with.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["WORDS", "make_text"]
+
+WORDS = (
+    "data web xml document change version delta node tree element "
+    "attribute value price product catalog item title index query "
+    "warehouse crawler server page site link section content update "
+    "insert delete move match subtree signature weight hash label "
+    "order parent child ancestor descendant text result system time "
+    "storage memory speed quality measure test sample model random "
+    "digital camera phone laptop screen battery power cable adapter "
+    "red green blue large small heavy light fast slow new old good"
+).split()
+
+
+def make_text(
+    rng: random.Random,
+    min_words: int = 2,
+    max_words: int = 10,
+    counter: int | None = None,
+) -> str:
+    """A random sentence; ``counter`` makes it globally unique."""
+    count = rng.randint(min_words, max_words)
+    words = [rng.choice(WORDS) for _ in range(count)]
+    if counter is not None:
+        words.append(f"#{counter}")
+    return " ".join(words)

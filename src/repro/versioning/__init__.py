@@ -1,0 +1,47 @@
+"""Xyleme-style change control built on the diff (the paper's Figure 1).
+
+- :mod:`repro.versioning.repository` — snapshot + delta-chain storage
+  (memory and directory backed).
+- :mod:`repro.versioning.version_control` — commit pipeline, version
+  reconstruction, cross-version aggregation.
+- :mod:`repro.versioning.temporal` — querying the past via XIDs.
+- :mod:`repro.versioning.alerter` — the subscription system.
+- :mod:`repro.versioning.textindex` — delta-maintained full-text index.
+"""
+
+from repro.versioning.alerter import Alert, Alerter, Subscription
+from repro.versioning.loader import LoaderStats, WarehouseLoader
+from repro.versioning.merge import Conflict, MergeResult, merge
+from repro.versioning.sitediff import SiteDelta, SiteSnapshot, diff_sites
+from repro.versioning.statistics import ChangeStatistics
+from repro.versioning.repository import (
+    DirectoryRepository,
+    MemoryRepository,
+    Repository,
+)
+from repro.versioning.temporal import NodeHistory, TemporalQueries, VersionEvent
+from repro.versioning.textindex import TextIndex
+from repro.versioning.version_control import VersionStore
+
+__all__ = [
+    "Alert",
+    "Alerter",
+    "ChangeStatistics",
+    "Conflict",
+    "DirectoryRepository",
+    "LoaderStats",
+    "MergeResult",
+    "WarehouseLoader",
+    "merge",
+    "MemoryRepository",
+    "NodeHistory",
+    "Repository",
+    "SiteDelta",
+    "SiteSnapshot",
+    "Subscription",
+    "diff_sites",
+    "TemporalQueries",
+    "TextIndex",
+    "VersionEvent",
+    "VersionStore",
+]

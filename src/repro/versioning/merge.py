@@ -1,0 +1,313 @@
+"""Three-way merge of deltas: offline synchronization (Section 2).
+
+"Different users may modify the same XML document off-line, and later
+want to synchronize their respective versions.  The diff algorithm could
+be used to detect and describe the modifications in order to detect
+conflicts and solve some of them" — the CVS-style use case.  XIDs make
+this tractable: two deltas against the same base address the same
+persistent nodes, so conflicts are set intersections, not guesswork.
+
+Given a base document and two deltas (both computed against it), the
+merger
+
+1. detects **conflicts** — the two sides touched the same node
+   incompatibly (update-update with different values, edit-vs-delete,
+   move-move to different places, attribute collisions, insert into a
+   deleted region);
+2. **deduplicates** — operations both sides performed identically apply
+   once;
+3. applies the preferred side fully, then the other side minus its
+   conflicting operations, position-leniently (the loser's positions
+   were computed against the base and may have shifted);
+4. reports everything in a :class:`MergeResult`.
+
+The merged document is exact with respect to node identity and content;
+sibling *positions* in regions both sides rearranged follow the
+preferred side (this is the part of the problem that is inherently
+policy, not fact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.apply import apply_delta
+from repro.core.delta import Delta, Insert, Move, Operation
+from repro.core.xid import XidAllocator, max_xid, subtree_xids
+from repro.xmlkit.model import Document, coalesce_text, postorder
+
+__all__ = ["Conflict", "MergeResult", "merge"]
+
+
+@dataclass
+class Conflict:
+    """One irreconcilable pair of operations.
+
+    Attributes:
+        kind: ``"update-update"``, ``"edit-delete"``, ``"delete-edit"``,
+            ``"move-move"``, ``"attr-attr"`` or ``"insert-into-deleted"``.
+        xid: The persistent node both sides touched.
+        winner: The applied operation (from the preferred side), if any.
+        loser: The skipped operation.
+    """
+
+    kind: str
+    xid: int
+    winner: Optional[Operation]
+    loser: Operation
+
+
+@dataclass
+class MergeResult:
+    """Outcome of a three-way merge.
+
+    Attributes:
+        document: The merged version.
+        conflicts: Conflicts detected (the loser side was skipped).
+        applied_winner / applied_loser: Operation counts actually applied.
+        deduplicated: Operations both sides shared (applied once).
+    """
+
+    document: Document
+    conflicts: list[Conflict] = field(default_factory=list)
+    applied_winner: int = 0
+    applied_loser: int = 0
+    deduplicated: int = 0
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.conflicts
+
+
+class _Effects:
+    """Index of what one delta does, keyed by XID."""
+
+    def __init__(self, delta: Delta):
+        self.updates: dict[int, Operation] = {}
+        self.attr_ops: dict[tuple[int, str], Operation] = {}
+        self.moves: dict[int, Operation] = {}
+        self.deleted: set[int] = set()
+        self.delete_roots: dict[int, Operation] = {}
+        self.inserts: dict[int, Operation] = {}
+        self.touched: set[int] = set()
+        for operation in delta.operations:
+            kind = operation.kind
+            if kind == "update":
+                self.updates[operation.xid] = operation
+                self.touched.add(operation.xid)
+            elif kind in ("attr-insert", "attr-delete", "attr-update"):
+                self.attr_ops[(operation.xid, operation.name)] = operation
+                self.touched.add(operation.xid)
+            elif kind == "move":
+                self.moves[operation.xid] = operation
+                self.touched.add(operation.xid)
+            elif kind == "delete":
+                self.delete_roots[operation.xid] = operation
+                for xid in subtree_xids(operation.subtree):
+                    self.deleted.add(xid)
+            elif kind == "insert":
+                self.inserts[operation.xid] = operation
+
+
+def merge(
+    base: Document,
+    ours: Delta,
+    theirs: Delta,
+    *,
+    prefer: str = "ours",
+) -> MergeResult:
+    """Merge two deltas computed against the same base document.
+
+    Args:
+        base: The common ancestor version (XID-labelled; both deltas must
+            apply to it).
+        ours / theirs: The two sides' deltas.
+        prefer: ``"ours"`` or ``"theirs"`` — which side wins conflicts.
+
+    Returns:
+        A :class:`MergeResult` with the merged document and the conflict
+        report.
+    """
+    if prefer not in ("ours", "theirs"):
+        raise ValueError("prefer must be 'ours' or 'theirs'")
+    winner, loser = (ours, theirs) if prefer == "ours" else (theirs, ours)
+
+    winner_effects = _Effects(winner)
+    loser = _relabel_fresh_xids(loser, base, winner)
+
+    kept: list[Operation] = []
+    conflicts: list[Conflict] = []
+    deduplicated = 0
+    for operation in loser.operations:
+        verdict = _judge(operation, winner_effects)
+        if verdict is None:
+            kept.append(operation)
+        elif verdict == "duplicate":
+            deduplicated += 1
+        else:
+            kind, winning_op = verdict
+            conflicts.append(
+                Conflict(
+                    kind=kind,
+                    xid=operation.xid,
+                    winner=winning_op,
+                    loser=operation,
+                )
+            )
+
+    merged = apply_delta(winner, base)
+    merged = apply_delta(Delta(kept), merged, in_place=True, lenient=True)
+    # Both sides may have inserted text at the same spot; the merged
+    # document must stay XML-serializable.
+    coalesce_text(merged)
+    return MergeResult(
+        document=merged,
+        conflicts=conflicts,
+        applied_winner=len(winner.operations),
+        applied_loser=len(kept),
+        deduplicated=deduplicated,
+    )
+
+
+
+
+def _judge(operation: Operation, effects: _Effects):
+    """None = keep; "duplicate" = skip silently; (kind, winner) = conflict."""
+    kind = operation.kind
+    if kind == "update":
+        if operation.xid in effects.deleted:
+            return ("delete-edit", effects_delete_covering(effects, operation.xid))
+        other = effects.updates.get(operation.xid)
+        if other is not None:
+            if other.new_value == operation.new_value:
+                return "duplicate"
+            return ("update-update", other)
+        return None
+    if kind in ("attr-insert", "attr-delete", "attr-update"):
+        if operation.xid in effects.deleted:
+            return ("delete-edit", effects_delete_covering(effects, operation.xid))
+        other = effects.attr_ops.get((operation.xid, operation.name))
+        if other is not None:
+            if other == operation:
+                return "duplicate"
+            return ("attr-attr", other)
+        return None
+    if kind == "move":
+        if operation.xid in effects.deleted:
+            return ("delete-edit", effects_delete_covering(effects, operation.xid))
+        if operation.to_parent_xid in effects.deleted:
+            return (
+                "insert-into-deleted",
+                effects_delete_covering(effects, operation.to_parent_xid),
+            )
+        other = effects.moves.get(operation.xid)
+        if other is not None:
+            if (
+                other.to_parent_xid == operation.to_parent_xid
+                and other.to_position == operation.to_position
+            ):
+                return "duplicate"
+            return ("move-move", other)
+        return None
+    if kind == "delete":
+        payload = set(subtree_xids(operation.subtree))
+        if operation.xid in effects.deleted:
+            # the winner already removed this node (possibly via an
+            # enclosing delete) — nothing left to do.
+            return "duplicate"
+        edited = payload & effects.touched
+        if edited:
+            witness_xid = next(iter(edited))
+            witness = (
+                effects.updates.get(witness_xid)
+                or effects.moves.get(witness_xid)
+                or next(
+                    (
+                        op
+                        for (xid, _), op in effects.attr_ops.items()
+                        if xid == witness_xid
+                    ),
+                    None,
+                )
+            )
+            return ("edit-delete", witness)
+        # the winner inserted or moved content *into* the region we want
+        # to delete?
+        for insert in effects.inserts.values():
+            if insert.parent_xid in payload:
+                return ("edit-delete", insert)
+        for moved in effects.moves.values():
+            if moved.to_parent_xid in payload:
+                return ("edit-delete", moved)
+        return None
+    if kind == "insert":
+        if operation.parent_xid in effects.deleted:
+            return (
+                "insert-into-deleted",
+                effects_delete_covering(effects, operation.parent_xid),
+            )
+        return None
+    return None
+
+
+def effects_delete_covering(effects: _Effects, xid: int) -> Optional[Operation]:
+    """The winner's delete operation whose payload covers ``xid``."""
+    for operation in effects.delete_roots.values():
+        if xid in subtree_xids(operation.subtree):
+            return operation
+    return None
+
+
+def _relabel_fresh_xids(loser: Delta, base: Document, winner: Delta) -> Delta:
+    """Rename the loser's freshly-allocated XIDs past the winner's range.
+
+    Both sides allocated insert XIDs starting at ``max_xid(base) + 1``, so
+    their *new* identifiers collide even though they name different nodes.
+    The loser's inserted-payload XIDs are rewritten to a disjoint range;
+    references to them (moves into inserted subtrees) follow.
+    """
+    base_top = max_xid(base)
+    winner_top = base_top
+    for operation in winner.operations:
+        if operation.kind == "insert":
+            winner_top = max(winner_top, max(subtree_xids(operation.subtree)))
+    allocator = XidAllocator(max(winner_top, base_top) + 1)
+
+    mapping: dict[int, int] = {}
+    for operation in loser.operations:
+        if operation.kind == "insert":
+            for xid in subtree_xids(operation.subtree):
+                if xid > base_top:
+                    mapping[xid] = allocator.allocate()
+    if not mapping:
+        return loser
+
+    rewritten: list[Operation] = []
+    for operation in loser.operations:
+        if operation.kind == "insert":
+            subtree = operation.subtree.clone(keep_xids=True)
+            for node in postorder(subtree):
+                if node.xid in mapping:
+                    node.xid = mapping[node.xid]
+            rewritten.append(
+                Insert(
+                    mapping.get(operation.xid, operation.xid),
+                    mapping.get(operation.parent_xid, operation.parent_xid),
+                    operation.position,
+                    subtree,
+                )
+            )
+        elif operation.kind == "move":
+            rewritten.append(
+                Move(
+                    operation.xid,
+                    operation.from_parent_xid,
+                    operation.from_position,
+                    mapping.get(operation.to_parent_xid, operation.to_parent_xid),
+                    operation.to_position,
+                )
+            )
+        else:
+            rewritten.append(operation)
+    return Delta(rewritten)

@@ -1,0 +1,344 @@
+"""Versioned document storage (the repository of Figure 1).
+
+A :class:`Repository` keeps, per document: the **current snapshot**, the
+**sequence of completed deltas** that produced it, and the **XID allocator
+state**.  That is exactly the paper's storage policy — "this delta is
+appended to the existing sequence of deltas for this document; the old
+version is then possibly removed from the repository" — old versions are
+reconstructed on demand by applying deltas backward from the current
+snapshot.
+
+Two implementations share the interface:
+
+- :class:`MemoryRepository` — everything in process memory.
+- :class:`DirectoryRepository` — one directory per document holding the
+  current snapshot (``current.xml``), the deltas
+  (``delta-0001-0002.xml`` ...), and a small metadata file.  Documents and
+  deltas are stored in their XML forms, so the store is inspectable with
+  any XML tooling — a property the paper makes a point of.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from repro.core.delta import Delta
+from repro.core.deltaxml import delta_from_document, delta_to_document
+from repro.core.xid import XidAllocator
+from repro.xmlkit.errors import RepositoryError
+from repro.xmlkit.model import Document
+from repro.xmlkit.parser import parse_file
+from repro.xmlkit.serializer import write_file
+
+__all__ = ["DirectoryRepository", "MemoryRepository", "Repository"]
+
+_DELTA_FILE_RE = re.compile(r"^delta-(\d+)-(\d+)\.xml$")
+
+
+class Repository:
+    """Interface of a versioned document store."""
+
+    def create(self, doc_id: str, document: Document, allocator: XidAllocator):
+        """Store version 1 of a new document."""
+        raise NotImplementedError
+
+    def exists(self, doc_id: str) -> bool:
+        raise NotImplementedError
+
+    def document_ids(self) -> list[str]:
+        raise NotImplementedError
+
+    def current_version(self, doc_id: str) -> int:
+        """Highest stored version number (versions start at 1)."""
+        raise NotImplementedError
+
+    def load_current(self, doc_id: str) -> Document:
+        """The current snapshot (a private copy the caller may mutate)."""
+        raise NotImplementedError
+
+    def load_allocator(self, doc_id: str) -> XidAllocator:
+        raise NotImplementedError
+
+    def load_delta(self, doc_id: str, base_version: int) -> Delta:
+        """The delta from ``base_version`` to ``base_version + 1``."""
+        raise NotImplementedError
+
+    def append(
+        self,
+        doc_id: str,
+        delta: Delta,
+        new_document: Document,
+        allocator: XidAllocator,
+    ):
+        """Advance a document by one version."""
+        raise NotImplementedError
+
+    # -- snapshot checkpoints -------------------------------------------------
+    # Reconstruction normally walks deltas backward from the current
+    # version; checkpoints bound that walk for long histories.  The base
+    # implementations make checkpointing optional for custom backends:
+    # nothing is stored and reconstruction falls back to the full walk.
+
+    def store_snapshot(self, doc_id: str, version: int, document: Document):
+        """Keep a full copy of one historical version (optional)."""
+
+    def load_snapshot(self, doc_id: str, version: int):
+        """A stored historical snapshot, or ``None``."""
+        return None
+
+    def snapshot_versions(self, doc_id: str) -> list[int]:
+        """Versions with a stored snapshot (ascending, possibly empty)."""
+        return []
+
+    def _check_exists(self, doc_id: str) -> None:
+        if not self.exists(doc_id):
+            raise RepositoryError(f"unknown document {doc_id!r}")
+
+
+class MemoryRepository(Repository):
+    """In-process repository; documents are cloned on the way in and out."""
+
+    def __init__(self):
+        self._current: dict[str, Document] = {}
+        self._deltas: dict[str, list[Delta]] = {}
+        self._next_xid: dict[str, int] = {}
+        self._snapshots: dict[tuple[str, int], Document] = {}
+
+    def create(self, doc_id: str, document: Document, allocator: XidAllocator):
+        if doc_id in self._current:
+            raise RepositoryError(f"document {doc_id!r} already exists")
+        self._current[doc_id] = document.clone()
+        self._deltas[doc_id] = []
+        self._next_xid[doc_id] = allocator.next_xid
+
+    def exists(self, doc_id: str) -> bool:
+        return doc_id in self._current
+
+    def document_ids(self) -> list[str]:
+        return sorted(self._current)
+
+    def current_version(self, doc_id: str) -> int:
+        self._check_exists(doc_id)
+        return len(self._deltas[doc_id]) + 1
+
+    def load_current(self, doc_id: str) -> Document:
+        self._check_exists(doc_id)
+        return self._current[doc_id].clone()
+
+    def load_allocator(self, doc_id: str) -> XidAllocator:
+        self._check_exists(doc_id)
+        return XidAllocator(self._next_xid[doc_id])
+
+    def load_delta(self, doc_id: str, base_version: int) -> Delta:
+        self._check_exists(doc_id)
+        deltas = self._deltas[doc_id]
+        if not 1 <= base_version <= len(deltas):
+            raise RepositoryError(
+                f"no delta {base_version}->{base_version + 1} for {doc_id!r}"
+            )
+        return deltas[base_version - 1]
+
+    def append(self, doc_id, delta, new_document, allocator):
+        self._check_exists(doc_id)
+        self._deltas[doc_id].append(delta)
+        self._current[doc_id] = new_document.clone()
+        self._next_xid[doc_id] = allocator.next_xid
+
+    def store_snapshot(self, doc_id, version, document):
+        self._check_exists(doc_id)
+        self._snapshots[(doc_id, version)] = document.clone()
+
+    def load_snapshot(self, doc_id, version):
+        snapshot = self._snapshots.get((doc_id, version))
+        return snapshot.clone() if snapshot is not None else None
+
+    def snapshot_versions(self, doc_id):
+        return sorted(
+            version
+            for document_id, version in self._snapshots
+            if document_id == doc_id
+        )
+
+
+class DirectoryRepository(Repository):
+    """Filesystem-backed repository (one subdirectory per document)."""
+
+    def __init__(self, base_path):
+        self.base_path = os.fspath(base_path)
+        os.makedirs(self.base_path, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def _doc_dir(self, doc_id: str) -> str:
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", doc_id)
+        return os.path.join(self.base_path, safe)
+
+    def _meta_path(self, doc_id: str) -> str:
+        return os.path.join(self._doc_dir(doc_id), "meta.json")
+
+    def _current_path(self, doc_id: str) -> str:
+        return os.path.join(self._doc_dir(doc_id), "current.xml")
+
+    def _delta_path(self, doc_id: str, base_version: int) -> str:
+        return os.path.join(
+            self._doc_dir(doc_id),
+            f"delta-{base_version:04d}-{base_version + 1:04d}.xml",
+        )
+
+    def _load_meta(self, doc_id: str) -> dict:
+        try:
+            with open(self._meta_path(doc_id), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError as exc:
+            raise RepositoryError(f"unknown document {doc_id!r}") from exc
+        except json.JSONDecodeError as exc:
+            raise RepositoryError(
+                f"corrupt metadata for {doc_id!r}: {exc}"
+            ) from exc
+
+    def _store_meta(self, doc_id: str, meta: dict) -> None:
+        with open(self._meta_path(doc_id), "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+
+    # -- Repository interface ---------------------------------------------------
+
+    def create(self, doc_id: str, document: Document, allocator: XidAllocator):
+        directory = self._doc_dir(doc_id)
+        if os.path.exists(self._meta_path(doc_id)):
+            raise RepositoryError(f"document {doc_id!r} already exists")
+        os.makedirs(directory, exist_ok=True)
+        write_file(document, self._current_path(doc_id))
+        self._store_meta(
+            doc_id,
+            {
+                "doc_id": doc_id,
+                "current_version": 1,
+                "next_xid": allocator.next_xid,
+                "id_attributes": sorted(
+                    list(pair) for pair in document.id_attributes
+                ),
+                "xid_labels": _collect_xids(document),
+            },
+        )
+
+    def exists(self, doc_id: str) -> bool:
+        return os.path.exists(self._meta_path(doc_id))
+
+    def document_ids(self) -> list[str]:
+        ids = []
+        for entry in sorted(os.listdir(self.base_path)):
+            meta_path = os.path.join(self.base_path, entry, "meta.json")
+            if os.path.exists(meta_path):
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    ids.append(json.load(handle)["doc_id"])
+        return ids
+
+    def current_version(self, doc_id: str) -> int:
+        return int(self._load_meta(doc_id)["current_version"])
+
+    def load_current(self, doc_id: str) -> Document:
+        self._check_exists(doc_id)
+        document = parse_file(
+            self._current_path(doc_id), strip_whitespace=False
+        )
+        meta = self._load_meta(doc_id)
+        document.id_attributes = {
+            tuple(pair) for pair in meta.get("id_attributes", [])
+        }
+        _restore_xids(document, meta)
+        return document
+
+    def load_allocator(self, doc_id: str) -> XidAllocator:
+        return XidAllocator(int(self._load_meta(doc_id)["next_xid"]))
+
+    def load_delta(self, doc_id: str, base_version: int) -> Delta:
+        self._check_exists(doc_id)
+        path = self._delta_path(doc_id, base_version)
+        if not os.path.exists(path):
+            raise RepositoryError(
+                f"no delta {base_version}->{base_version + 1} for {doc_id!r}"
+            )
+        return delta_from_document(parse_file(path, strip_whitespace=False))
+
+    def append(self, doc_id, delta, new_document, allocator):
+        meta = self._load_meta(doc_id)
+        version = int(meta["current_version"])
+        write_file(
+            delta_to_document(delta), self._delta_path(doc_id, version)
+        )
+        write_file(new_document, self._current_path(doc_id))
+        meta["current_version"] = version + 1
+        meta["next_xid"] = allocator.next_xid
+        meta["xid_labels"] = _collect_xids(new_document)
+        self._store_meta(doc_id, meta)
+
+    # -- snapshot checkpoints ---------------------------------------------------
+
+    def _snapshot_path(self, doc_id: str, version: int) -> str:
+        return os.path.join(
+            self._doc_dir(doc_id), f"snapshot-{version:04d}.xml"
+        )
+
+    def store_snapshot(self, doc_id, version, document):
+        meta = self._load_meta(doc_id)
+        write_file(document, self._snapshot_path(doc_id, version))
+        snapshots = meta.setdefault("snapshots", {})
+        snapshots[str(version)] = _collect_xids(document)
+        self._store_meta(doc_id, meta)
+
+    def load_snapshot(self, doc_id, version):
+        meta = self._load_meta(doc_id)
+        labels = meta.get("snapshots", {}).get(str(version))
+        if labels is None:
+            return None
+        document = parse_file(
+            self._snapshot_path(doc_id, version), strip_whitespace=False
+        )
+        document.id_attributes = {
+            tuple(pair) for pair in meta.get("id_attributes", [])
+        }
+        _restore_xids(document, {"xid_labels": labels})
+        return document
+
+    def snapshot_versions(self, doc_id):
+        meta = self._load_meta(doc_id)
+        return sorted(int(v) for v in meta.get("snapshots", {}))
+
+
+def _collect_xids(document: Document) -> list[int]:
+    """Postorder XID list of a snapshot (persisted in the metadata file).
+
+    XIDs are the glue between the snapshot and its delta chain, but they
+    are *not* serialized inside the XML content (that would pollute the
+    document).  They are stored as a postorder list alongside it instead.
+    """
+    from repro.xmlkit.model import postorder
+
+    xids = []
+    for node in postorder(document):
+        if node is document:
+            continue
+        if node.xid is None:
+            raise RepositoryError(
+                "cannot store a snapshot whose nodes lack XIDs"
+            )
+        xids.append(node.xid)
+    return xids
+
+
+def _restore_xids(document: Document, meta: dict) -> None:
+    """Reattach the persisted postorder XID labels to a loaded snapshot."""
+    from repro.core.xid import DOCUMENT_XID, assign_initial_xids
+    from repro.xmlkit.model import postorder
+
+    labels = meta.get("xid_labels")
+    if labels:
+        nodes = [node for node in postorder(document) if node is not document]
+        if len(labels) != len(nodes):
+            raise RepositoryError("stored XID labels do not fit the snapshot")
+        for node, xid in zip(nodes, labels):
+            node.xid = int(xid)
+        document.xid = DOCUMENT_XID
+    else:
+        assign_initial_xids(document)

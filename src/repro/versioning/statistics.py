@@ -1,0 +1,164 @@
+"""Change statistics: learning what changes where (Section 5.2).
+
+"Learn that a price node is more likely to change than a description
+node."  :class:`ChangeStatistics` accumulates, from every committed
+delta, how often each *label path* is updated, inserted under, deleted or
+moved — with a :class:`~repro.core.dataguide.DataGuide` as the
+denominator, that yields per-path change *rates*:
+
+    stats = ChangeStatistics()
+    stats.observe(delta, old_document, new_document)
+    stats.most_volatile("update")    # price paths float to the top
+
+The statistics plug into the version store via the same ``on_commit``
+hook as the alerter and the index, and they can parameterize the change
+simulator (:meth:`suggested_profile`) so synthetic workloads mirror the
+change mix actually observed — the calibration loop the paper describes
+("based on statistical knowledge of changes that occurs in the real web
+we will be able to improve its quality").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.dataguide import DataGuide
+from repro.core.delta import Delta
+from repro.core.xid import xid_index
+from repro.xmlkit.model import Document, preorder
+from repro.xmlkit.path import label_path_of
+
+__all__ = ["ChangeStatistics"]
+
+_KINDS = ("update", "insert", "delete", "move", "attr")
+
+
+class ChangeStatistics:
+    """Per-label-path operation counts accumulated from deltas."""
+
+    def __init__(self):
+        self._counts: dict[str, dict[str, int]] = {}
+        self.guide = DataGuide()
+        self.deltas_observed = 0
+        self.operations_observed = 0
+
+    # -- accumulation ---------------------------------------------------------
+
+    def observe(
+        self,
+        delta: Delta,
+        old_document: Document,
+        new_document: Document,
+    ) -> None:
+        """Fold one committed delta into the statistics.
+
+        The old document anchors delete paths, the new document anchors
+        insert/move/update paths; the old version also feeds the
+        data-guide denominator (each observation adds one version's worth
+        of structure).
+        """
+        self.guide.add_document(old_document)
+        self.deltas_observed += 1
+        old_index = xid_index(old_document)
+        new_index = xid_index(new_document)
+        for operation in delta.operations:
+            kind = operation.kind
+            if kind == "update":
+                node = new_index.get(operation.xid)
+                if node is not None:
+                    self._bump("update", label_path_of(node))
+            elif kind == "move":
+                node = new_index.get(operation.xid)
+                if node is not None:
+                    self._bump("move", label_path_of(node))
+            elif kind == "insert":
+                root = new_index.get(operation.xid)
+                if root is not None:
+                    for node in preorder(root):
+                        self._bump("insert", label_path_of(node))
+            elif kind == "delete":
+                root = old_index.get(operation.xid)
+                if root is not None:
+                    for node in preorder(root):
+                        self._bump("delete", label_path_of(node))
+            else:  # attribute operations
+                node = new_index.get(operation.xid)
+                if node is not None:
+                    self._bump("attr", label_path_of(node))
+
+    def _bump(self, kind: str, path: str) -> None:
+        bucket = self._counts.setdefault(path, dict.fromkeys(_KINDS, 0))
+        bucket[kind] += 1
+        self.operations_observed += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def count(self, path: str, kind: Optional[str] = None) -> int:
+        bucket = self._counts.get(path)
+        if bucket is None:
+            return 0
+        if kind is None:
+            return sum(bucket.values())
+        return bucket.get(kind, 0)
+
+    def change_rate(self, path: str, kind: Optional[str] = None) -> float:
+        """Changes per occurrence of the path (0.0 when never seen)."""
+        occurrences = self.guide.count(path)
+        if occurrences == 0:
+            return 0.0
+        return self.count(path, kind) / occurrences
+
+    def most_volatile(
+        self,
+        kind: Optional[str] = None,
+        top: int = 10,
+        minimum_occurrences: int = 1,
+    ) -> list[tuple[str, float]]:
+        """Label paths ranked by change rate, most volatile first."""
+        ranked = [
+            (path, self.change_rate(path, kind))
+            for path in self._counts
+            if self.guide.count(path) >= minimum_occurrences
+        ]
+        ranked = [(path, rate) for path, rate in ranked if rate > 0]
+        ranked.sort(key=lambda item: (-item[1], item[0]))
+        return ranked[:top]
+
+    def kind_totals(self) -> dict[str, int]:
+        totals = dict.fromkeys(_KINDS, 0)
+        for bucket in self._counts.values():
+            for kind, count in bucket.items():
+                totals[kind] += count
+        return totals
+
+    def suggested_profile(self):
+        """A :class:`~repro.simulator.change_simulator.SimulatorConfig`
+        whose per-node probabilities mirror the observed change mix.
+
+        The denominator is total nodes observed across base versions, so
+        a corpus where 2% of nodes get updated per version yields
+        ``update_probability ≈ 0.02``.
+        """
+        from repro.simulator.change_simulator import SimulatorConfig
+
+        total_nodes = sum(count for _, count in self.guide)
+        if total_nodes == 0:
+            return SimulatorConfig(0.0, 0.0, 0.0, 0.0)
+        totals = self.kind_totals()
+
+        def rate(kind):
+            return min(totals[kind] / total_nodes, 1.0)
+
+        return SimulatorConfig(
+            delete_probability=rate("delete"),
+            update_probability=rate("update"),
+            insert_probability=rate("insert"),
+            move_probability=rate("move"),
+        )
+
+    def __repr__(self):
+        return (
+            f"<ChangeStatistics paths={len(self._counts)} "
+            f"operations={self.operations_observed} "
+            f"deltas={self.deltas_observed}>"
+        )

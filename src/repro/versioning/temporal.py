@@ -1,0 +1,176 @@
+"""Querying the past (Section 2: "Versions and Querying the past").
+
+Persistent XIDs make temporal queries straightforward: a node keeps its
+identifier across versions, so asking "what was the value of this element
+at version 3" is a lookup in the reconstructed version, and "how did this
+node evolve" is a scan over the delta chain.  This module implements those
+queries on top of a :class:`~repro.versioning.version_control.VersionStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.xid import xid_index
+from repro.versioning.version_control import VersionStore
+from repro.xmlkit.model import Node
+from repro.xmlkit.path import LabelPattern, label_path_of, path_of
+
+__all__ = ["NodeHistory", "TemporalQueries", "VersionEvent"]
+
+
+@dataclass
+class VersionEvent:
+    """One thing that happened to a node in one version transition.
+
+    Attributes:
+        base_version / target_version: The transition the event belongs to.
+        kind: ``"insert"``, ``"delete"``, ``"update"``, ``"move"``,
+            ``"attr-insert"``, ``"attr-delete"`` or ``"attr-update"``.
+        detail: Human-readable description (old/new values, positions).
+    """
+
+    base_version: int
+    target_version: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class NodeHistory:
+    """Full lifecycle of one XID across a document's stored history."""
+
+    xid: int
+    events: list[VersionEvent]
+
+    @property
+    def born_in(self) -> Optional[int]:
+        for event in self.events:
+            if event.kind == "insert":
+                return event.target_version
+        return None
+
+    @property
+    def died_in(self) -> Optional[int]:
+        for event in self.events:
+            if event.kind == "delete":
+                return event.target_version
+        return None
+
+
+class TemporalQueries:
+    """Temporal query helpers bound to one version store."""
+
+    def __init__(self, store: VersionStore):
+        self.store = store
+
+    def node_at(self, doc_id: str, xid: int, version: int) -> Optional[Node]:
+        """The node carrying ``xid`` at ``version``, or ``None``."""
+        document = self.store.get_version(doc_id, version)
+        return xid_index(document).get(xid)
+
+    def value_at(self, doc_id: str, xid: int, version: int) -> Optional[str]:
+        """Text content of the node at that version (None if absent)."""
+        node = self.node_at(doc_id, xid, version)
+        if node is None:
+            return None
+        if node.kind in ("text", "comment", "pi"):
+            return node.value
+        return node.text_content()
+
+    def path_at(self, doc_id: str, xid: int, version: int) -> Optional[str]:
+        """Where the node lived at that version."""
+        node = self.node_at(doc_id, xid, version)
+        return path_of(node) if node is not None else None
+
+    def history_of(self, doc_id: str, xid: int) -> NodeHistory:
+        """Every delta event that touched ``xid``, oldest first."""
+        events: list[VersionEvent] = []
+        current = self.store.current_version(doc_id)
+        for base in range(1, current):
+            delta = self.store.delta(doc_id, base)
+            for operation in delta.operations:
+                event = _event_for(operation, xid, base)
+                if event is not None:
+                    events.append(event)
+        return NodeHistory(xid=xid, events=events)
+
+    def find_at(
+        self, doc_id: str, pattern: str, version: int
+    ) -> list[tuple[int, str]]:
+        """``(xid, text)`` of nodes matching a label pattern at a version.
+
+        This is the paper's "ask for the list of items recently introduced
+        in a catalog" style of query, pointed at any moment in history.
+        """
+        document = self.store.get_version(doc_id, version)
+        compiled = LabelPattern(pattern)
+        results = []
+        from repro.xmlkit.model import preorder
+
+        for node in preorder(document):
+            if node.kind == "document" or node.xid is None:
+                continue
+            if compiled.matches(label_path_of(node)):
+                results.append((node.xid, node.text_content()
+                                if node.kind == "element" else node.value))
+        return results
+
+    def inserted_between(
+        self, doc_id: str, from_version: int, to_version: int
+    ) -> list[int]:
+        """XIDs of subtree roots inserted between two versions (net)."""
+        combined = self.store.changes_between(doc_id, from_version, to_version)
+        return [operation.xid for operation in combined.by_kind("insert")]
+
+    def deleted_between(
+        self, doc_id: str, from_version: int, to_version: int
+    ) -> list[int]:
+        """XIDs of subtree roots deleted between two versions (net)."""
+        combined = self.store.changes_between(doc_id, from_version, to_version)
+        return [operation.xid for operation in combined.by_kind("delete")]
+
+
+def _event_for(operation, xid: int, base: int) -> Optional[VersionEvent]:
+    kind = operation.kind
+    target = base + 1
+    if kind in ("delete", "insert"):
+        from repro.core.xid import subtree_xids
+
+        if xid == operation.xid or xid in subtree_xids(operation.subtree):
+            where = "subtree root" if xid == operation.xid else "inside subtree"
+            return VersionEvent(
+                base, target, kind,
+                f"{kind} under parent {operation.parent_xid} "
+                f"at position {operation.position} ({where})",
+            )
+        return None
+    if operation.xid != xid:
+        return None
+    if kind == "move":
+        return VersionEvent(
+            base, target, "move",
+            f"from {operation.from_parent_xid}[{operation.from_position}] "
+            f"to {operation.to_parent_xid}[{operation.to_position}]",
+        )
+    if kind == "update":
+        return VersionEvent(
+            base, target, "update",
+            f"{operation.old_value!r} -> {operation.new_value!r}",
+        )
+    if kind == "attr-insert":
+        return VersionEvent(
+            base, target, kind, f"+{operation.name}={operation.value!r}"
+        )
+    if kind == "attr-delete":
+        return VersionEvent(
+            base, target, kind, f"-{operation.name} (was {operation.old_value!r})"
+        )
+    if kind == "attr-update":
+        return VersionEvent(
+            base, target, kind,
+            f"{operation.name}: {operation.old_value!r} -> "
+            f"{operation.new_value!r}",
+        )
+    return None

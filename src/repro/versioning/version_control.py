@@ -1,0 +1,180 @@
+"""High-level change control: the paper's Figure 1 pipeline.
+
+:class:`VersionStore` wires the pieces together the way Xyleme does: a new
+version of a document arrives (from a crawler, a loader, an editor), the
+diff module compares it against the stored current version, the resulting
+delta is appended to the document's delta sequence, and the repository
+snapshot moves forward.  Old versions are not stored — they are
+reconstructed on demand by applying completed deltas backward, and
+"changes between versions i and j" come from delta aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.apply import aggregate, apply_backward, apply_delta
+from repro.core.config import DiffConfig
+from repro.core.delta import Delta
+from repro.core.diff import diff
+from repro.core.xid import assign_initial_xids
+from repro.versioning.repository import MemoryRepository, Repository
+from repro.xmlkit.errors import RepositoryError
+from repro.xmlkit.model import Document, coalesce_text
+
+__all__ = ["VersionStore"]
+
+
+class VersionStore:
+    """Versioned documents with diff-on-commit change control.
+
+    Args:
+        repository: Backing store; defaults to an in-memory repository.
+        config: Diff configuration used by :meth:`commit`.
+        on_commit: Optional callback ``f(doc_id, delta, new_document)``
+            invoked after every successful commit — this is where the
+            paper's *Alerter* (subscription system) and the incremental
+            indexer hook in.
+    """
+
+    def __init__(
+        self,
+        repository: Optional[Repository] = None,
+        config: Optional[DiffConfig] = None,
+        on_commit: Optional[Callable[[str, Delta, Document], None]] = None,
+        checkpoint_every: Optional[int] = None,
+    ):
+        self.repository = repository if repository is not None else MemoryRepository()
+        self.config = config or DiffConfig()
+        self.on_commit = on_commit
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.checkpoint_every = checkpoint_every
+
+    # -- writing ------------------------------------------------------------
+
+    def create(self, doc_id: str, document: Document) -> int:
+        """Store ``document`` as version 1 of a new document; returns 1.
+
+        Stored content is normalized to its XML-serializable form
+        (adjacent text siblings coalesce — they could not survive the
+        repository's serialization round trip anyway).
+        """
+        working = document.clone(keep_xids=False)
+        coalesce_text(working)
+        allocator = assign_initial_xids(working)
+        self.repository.create(doc_id, working, allocator)
+        return 1
+
+    def commit(self, doc_id: str, new_document: Document) -> Delta:
+        """Diff the new version against the current one and append it.
+
+        Returns the computed delta (empty if nothing changed — an empty
+        delta still advances the version, mirroring a crawler revisit).
+        The stored content is normalized like :meth:`create`.
+        """
+        current = self.repository.load_current(doc_id)
+        allocator = self.repository.load_allocator(doc_id)
+        working = new_document.clone(keep_xids=False)
+        coalesce_text(working)
+        delta = diff(current, working, self.config, allocator=allocator)
+        delta.base_version = self.repository.current_version(doc_id)
+        delta.target_version = delta.base_version + 1
+        self.repository.append(doc_id, delta, working, allocator)
+        if (
+            self.checkpoint_every is not None
+            and delta.target_version % self.checkpoint_every == 0
+        ):
+            self.repository.store_snapshot(
+                doc_id, delta.target_version, working
+            )
+        if self.on_commit is not None:
+            self.on_commit(doc_id, delta, working)
+        return delta
+
+    # -- reading ------------------------------------------------------------
+
+    def document_ids(self) -> list[str]:
+        return self.repository.document_ids()
+
+    def current_version(self, doc_id: str) -> int:
+        return self.repository.current_version(doc_id)
+
+    def get_current(self, doc_id: str) -> Document:
+        """The latest version (XID-labelled)."""
+        return self.repository.load_current(doc_id)
+
+    def get_version(self, doc_id: str, version: int) -> Document:
+        """Reconstruct any stored version.
+
+        The walk starts from the nearest stored state at or above the
+        requested version — the current snapshot by default, or a
+        checkpoint when ``checkpoint_every`` stored one closer — and
+        applies deltas backward from there.
+        """
+        current = self.repository.current_version(doc_id)
+        if not 1 <= version <= current:
+            raise RepositoryError(
+                f"{doc_id!r} has versions 1..{current}, not {version}"
+            )
+        start = current
+        document = None
+        for checkpoint in self.repository.snapshot_versions(doc_id):
+            if version <= checkpoint < start:
+                start = checkpoint
+        if start == version and start != current:
+            loaded = self.repository.load_snapshot(doc_id, start)
+            if loaded is not None:
+                return loaded
+        if start != current:
+            document = self.repository.load_snapshot(doc_id, start)
+        if document is None:
+            start = current
+            document = self.repository.load_current(doc_id)
+        for base in range(start - 1, version - 1, -1):
+            delta = self.repository.load_delta(doc_id, base)
+            document = apply_backward(delta, document, in_place=True)
+        return document
+
+    def delta(self, doc_id: str, base_version: int) -> Delta:
+        """The stored single-step delta ``base_version -> base_version+1``."""
+        return self.repository.load_delta(doc_id, base_version)
+
+    def deltas(self, doc_id: str) -> list[Delta]:
+        """All stored deltas, oldest first."""
+        return [
+            self.repository.load_delta(doc_id, base)
+            for base in range(1, self.repository.current_version(doc_id))
+        ]
+
+    def changes_between(
+        self, doc_id: str, from_version: int, to_version: int
+    ) -> Delta:
+        """One delta describing everything between two versions.
+
+        ``from_version < to_version`` aggregates forward; the reverse
+        direction returns the inverse (completed deltas make both free).
+        Equal versions yield an empty delta.
+        """
+        if from_version == to_version:
+            return Delta([])
+        if from_version > to_version:
+            return self.changes_between(doc_id, to_version, from_version).inverted()
+        base_document = self.get_version(doc_id, from_version)
+        chain = [
+            self.repository.load_delta(doc_id, base)
+            for base in range(from_version, to_version)
+        ]
+        combined = aggregate(chain, base_document)
+        combined.base_version = from_version
+        combined.target_version = to_version
+        return combined
+
+    def verify_integrity(self, doc_id: str) -> bool:
+        """Replay the whole chain forward from version 1: the result must
+        equal the stored current snapshot.  A store self-check."""
+        document = self.get_version(doc_id, 1)
+        for base in range(1, self.repository.current_version(doc_id)):
+            delta = self.repository.load_delta(doc_id, base)
+            document = apply_delta(delta, document, in_place=True, verify=True)
+        return document.deep_equal(self.repository.load_current(doc_id))

@@ -1,0 +1,97 @@
+"""XML substrate: document model, parser, serializer, DTD, paths.
+
+Everything the diff needs from "an XML library", built from scratch on the
+stdlib expat bindings.  See the individual modules for details:
+
+- :mod:`repro.xmlkit.model` — ordered-tree node classes and traversals.
+- :mod:`repro.xmlkit.parser` — expat-based parser (`parse`, `parse_file`).
+- :mod:`repro.xmlkit.serializer` — writer (`serialize`, `write_file`).
+- :mod:`repro.xmlkit.dtd` — minimal DTD declarations (ID attribute discovery).
+- :mod:`repro.xmlkit.canonical` — canonical byte form used for hashing.
+- :mod:`repro.xmlkit.path` — node paths and label patterns.
+"""
+
+from repro.xmlkit.canonical import canonical_bytes, content_fingerprint
+from repro.xmlkit.dtd import AttributeDecl, Dtd, ElementDecl, format_dtd, parse_dtd
+from repro.xmlkit.htmlize import VOID_ELEMENTS, htmlize
+from repro.xmlkit.infer import infer_dtd, infer_id_attributes
+from repro.xmlkit.errors import (
+    ApplyError,
+    DeltaError,
+    DtdError,
+    PathError,
+    ReproError,
+    RepositoryError,
+    XmlParseError,
+    XmlSerializeError,
+)
+from repro.xmlkit.model import (
+    coalesce_text,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+    postorder,
+    preorder,
+)
+from repro.xmlkit.parser import parse, parse_file
+from repro.xmlkit.path import (
+    LabelPattern,
+    find_all,
+    label_path_of,
+    node_at_path,
+    path_of,
+)
+from repro.xmlkit.serializer import (
+    document_byte_size,
+    escape_attribute,
+    escape_text,
+    serialize,
+    serialize_bytes,
+    write_file,
+)
+
+__all__ = [
+    "ApplyError",
+    "AttributeDecl",
+    "Comment",
+    "DeltaError",
+    "Document",
+    "Dtd",
+    "DtdError",
+    "Element",
+    "ElementDecl",
+    "LabelPattern",
+    "Node",
+    "PathError",
+    "ProcessingInstruction",
+    "ReproError",
+    "RepositoryError",
+    "Text",
+    "XmlParseError",
+    "XmlSerializeError",
+    "canonical_bytes",
+    "coalesce_text",
+    "content_fingerprint",
+    "document_byte_size",
+    "escape_attribute",
+    "escape_text",
+    "find_all",
+    "htmlize",
+    "infer_dtd",
+    "infer_id_attributes",
+    "format_dtd",
+    "label_path_of",
+    "node_at_path",
+    "parse",
+    "parse_dtd",
+    "parse_file",
+    "path_of",
+    "postorder",
+    "preorder",
+    "serialize",
+    "serialize_bytes",
+    "write_file",
+]

@@ -1,0 +1,66 @@
+"""Exception hierarchy shared by the whole library.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError`, so callers
+can catch one type when they only care about "something in this library went
+wrong".  Each subsystem raises the most specific subclass it can.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ApplyError",
+    "DeltaError",
+    "DtdError",
+    "PathError",
+    "ReproError",
+    "RepositoryError",
+    "XmlParseError",
+    "XmlSerializeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class XmlParseError(ReproError):
+    """Raised when a document cannot be parsed into the tree model.
+
+    Carries the parser's best guess at a location so tooling can point at
+    the offending input.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (
+                f", column {column})" if column is not None else ")"
+            )
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class XmlSerializeError(ReproError):
+    """Raised when a tree contains content that cannot be serialized."""
+
+
+class DtdError(ReproError):
+    """Raised on malformed internal DTD subsets or declaration conflicts."""
+
+
+class DeltaError(ReproError):
+    """Raised when a delta is structurally invalid (bad XIDs, bad ops)."""
+
+
+class ApplyError(DeltaError):
+    """Raised when a structurally valid delta does not fit the document
+    it is applied to (missing XID, position out of range, ...)."""
+
+
+class PathError(ReproError):
+    """Raised for unresolvable or syntactically invalid node paths."""
+
+
+class RepositoryError(ReproError):
+    """Raised by the versioned document repository on misuse or corruption."""

@@ -1,0 +1,470 @@
+"""Ordered-tree document model for XML.
+
+This is the in-memory representation every other part of the library works
+on.  It mirrors the simple model of the paper (Section 4): ordered trees
+whose nodes carry a *value* — a label plus attributes for element nodes, a
+character string for text nodes — and, once a document has been versioned,
+a persistent identifier (XID) per node.
+
+The model is deliberately small and explicit:
+
+- :class:`Element` — label, attribute map, ordered list of children.
+- :class:`Text` — character data leaf.
+- :class:`Comment` / :class:`ProcessingInstruction` — carried through
+  faithfully but treated like opaque leaves by the diff.
+- :class:`Document` — the tree root container; also records which
+  ``(element label, attribute name)`` pairs the DTD declared as ``ID``,
+  which BULD Phase 1 consumes.
+
+Every node keeps a ``parent`` pointer so the diff can navigate upward, and
+an optional integer ``xid`` (persistent identifier).  Traversals are
+iterative so arbitrarily deep trees never hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = [
+    "Comment",
+    "Document",
+    "Element",
+    "Node",
+    "ProcessingInstruction",
+    "Text",
+    "coalesce_text",
+    "postorder",
+    "preorder",
+]
+
+
+class Node:
+    """Abstract base for all tree nodes.
+
+    Attributes:
+        parent: The owning :class:`Element` or :class:`Document`, or ``None``
+            for a detached node.
+        xid: Persistent identifier, or ``None`` when the node has not been
+            registered with a version history yet.
+    """
+
+    __slots__ = ("parent", "xid")
+
+    kind = "node"
+
+    def __init__(self):
+        self.parent: Optional[Node] = None
+        self.xid: Optional[int] = None
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def is_element(self) -> bool:
+        return self.kind == "element"
+
+    @property
+    def is_text(self) -> bool:
+        return self.kind == "text"
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    @property
+    def children(self) -> list["Node"]:
+        """Child list; empty (and immutable in effect) for leaf nodes."""
+        return _NO_CHILDREN
+
+    def position(self) -> int:
+        """Index of this node in its parent's child list.
+
+        Raises:
+            ValueError: if the node is detached.
+        """
+        if self.parent is None:
+            raise ValueError("detached node has no position")
+        siblings = self.parent.children
+        # Identity search: structural equality would find the wrong twin.
+        for index, sibling in enumerate(siblings):
+            if sibling is self:
+                return index
+        raise ValueError("node not found among its parent's children")
+
+    def detach(self) -> "Node":
+        """Remove this node from its parent (no-op when already detached)."""
+        if self.parent is not None:
+            siblings = self.parent.children
+            for index, sibling in enumerate(siblings):
+                if sibling is self:
+                    del siblings[index]
+                    break
+            self.parent = None
+        return self
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Yield parent, grandparent, ... up to (and including) the document."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def depth(self) -> int:
+        """Number of ancestors (root element has depth 1 under a document)."""
+        return sum(1 for _ in self.ancestors())
+
+    def document(self) -> Optional["Document"]:
+        """The owning :class:`Document`, or ``None`` for detached subtrees."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node if isinstance(node, Document) else None
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (>= 1)."""
+        return sum(1 for _ in preorder(self))
+
+    # -- content -----------------------------------------------------------
+
+    def deep_equal(self, other: "Node") -> bool:
+        """Structural equality: same kinds, values, attributes, child shapes.
+
+        XIDs are deliberately ignored — two documents are "the same version"
+        when their content matches, whatever identifiers they carry.
+        """
+        stack = [(self, other)]
+        while stack:
+            a, b = stack.pop()
+            if a.kind != b.kind:
+                return False
+            if not a._shallow_equal(b):
+                return False
+            a_children = a.children
+            b_children = b.children
+            if len(a_children) != len(b_children):
+                return False
+            stack.extend(zip(a_children, b_children))
+        return True
+
+    def _shallow_equal(self, other: "Node") -> bool:
+        raise NotImplementedError
+
+    def clone(self, *, keep_xids: bool = True) -> "Node":
+        """Deep copy of the subtree rooted here; the copy is detached."""
+        copy_root = self._shallow_clone(keep_xids)
+        stack = [(self, copy_root)]
+        while stack:
+            original, copy = stack.pop()
+            for child in original.children:
+                child_copy = child._shallow_clone(keep_xids)
+                child_copy.parent = copy
+                copy.children.append(child_copy)
+                stack.append((child, child_copy))
+        return copy_root
+
+    def _shallow_clone(self, keep_xids: bool) -> "Node":
+        raise NotImplementedError
+
+    def text_content(self) -> str:
+        """Concatenation of all descendant text values, document order."""
+        parts = []
+        for node in preorder(self):
+            if node.kind == "text":
+                parts.append(node.value)
+        return "".join(parts)
+
+
+# A single shared empty list gives leaf nodes a children attribute without
+# per-instance storage.  Leaves never mutate it.
+_NO_CHILDREN: list = []
+
+
+class Element(Node):
+    """An element node: a label, an attribute map, and ordered children."""
+
+    __slots__ = ("label", "attributes", "_children")
+
+    kind = "element"
+
+    def __init__(self, label: str, attributes: Optional[dict] = None):
+        super().__init__()
+        self.label = label
+        self.attributes: dict = dict(attributes) if attributes else {}
+        self._children: list[Node] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self._children
+
+    @property
+    def children(self) -> list[Node]:
+        return self._children
+
+    # -- mutation ----------------------------------------------------------
+
+    def append(self, child: Node) -> Node:
+        """Attach ``child`` as the last child (detaching it first if needed)."""
+        return self.insert(len(self._children), child)
+
+    def insert(self, index: int, child: Node) -> Node:
+        """Attach ``child`` at position ``index`` (supports ``len(children)``)."""
+        if child.parent is not None:
+            child.detach()
+        if not 0 <= index <= len(self._children):
+            raise IndexError(
+                f"insert position {index} out of range 0..{len(self._children)}"
+            )
+        self._children.insert(index, child)
+        child.parent = self
+        return child
+
+    def remove(self, child: Node) -> Node:
+        """Detach a direct child (identity match)."""
+        if child.parent is not self:
+            raise ValueError("node is not a child of this element")
+        return child.detach()
+
+    def replace(self, old: Node, new: Node) -> Node:
+        """Swap direct child ``old`` for ``new`` at the same position."""
+        index = old.position()
+        old.detach()
+        return self.insert(index, new)
+
+    # -- queries -----------------------------------------------------------
+
+    def find(self, label: str) -> Optional["Element"]:
+        """First direct child element with the given label, or ``None``."""
+        for child in self._children:
+            if child.kind == "element" and child.label == label:
+                return child
+        return None
+
+    def find_all(self, label: str) -> list["Element"]:
+        """All direct child elements with the given label, in order."""
+        return [
+            child
+            for child in self._children
+            if child.kind == "element" and child.label == label
+        ]
+
+    def get(self, name: str, default=None):
+        """Attribute lookup with a default, mirroring ``dict.get``."""
+        return self.attributes.get(name, default)
+
+    def child_elements(self) -> Iterator["Element"]:
+        for child in self._children:
+            if child.kind == "element":
+                yield child
+
+    # -- Node protocol -----------------------------------------------------
+
+    def _shallow_equal(self, other: Node) -> bool:
+        return self.label == other.label and self.attributes == other.attributes
+
+    def _shallow_clone(self, keep_xids: bool) -> "Element":
+        copy = Element(self.label, self.attributes)
+        if keep_xids:
+            copy.xid = self.xid
+        return copy
+
+    def __repr__(self):
+        xid = f" xid={self.xid}" if self.xid is not None else ""
+        return f"<Element {self.label!r}{xid} children={len(self._children)}>"
+
+
+class Text(Node):
+    """A text (character data) leaf node."""
+
+    __slots__ = ("value",)
+
+    kind = "text"
+
+    def __init__(self, value: str):
+        super().__init__()
+        self.value = value
+
+    def _shallow_equal(self, other: Node) -> bool:
+        return self.value == other.value
+
+    def _shallow_clone(self, keep_xids: bool) -> "Text":
+        copy = Text(self.value)
+        if keep_xids:
+            copy.xid = self.xid
+        return copy
+
+    def __repr__(self):
+        preview = self.value if len(self.value) <= 24 else self.value[:21] + "..."
+        xid = f" xid={self.xid}" if self.xid is not None else ""
+        return f"<Text {preview!r}{xid}>"
+
+
+class Comment(Node):
+    """An XML comment, preserved verbatim but opaque to the diff."""
+
+    __slots__ = ("value",)
+
+    kind = "comment"
+
+    def __init__(self, value: str):
+        super().__init__()
+        self.value = value
+
+    def _shallow_equal(self, other: Node) -> bool:
+        return self.value == other.value
+
+    def _shallow_clone(self, keep_xids: bool) -> "Comment":
+        copy = Comment(self.value)
+        if keep_xids:
+            copy.xid = self.xid
+        return copy
+
+    def __repr__(self):
+        return f"<Comment {self.value!r}>"
+
+
+class ProcessingInstruction(Node):
+    """A processing instruction ``<?target value?>``."""
+
+    __slots__ = ("target", "value")
+
+    kind = "pi"
+
+    def __init__(self, target: str, value: str = ""):
+        super().__init__()
+        self.target = target
+        self.value = value
+
+    def _shallow_equal(self, other: Node) -> bool:
+        return self.target == other.target and self.value == other.value
+
+    def _shallow_clone(self, keep_xids: bool) -> "ProcessingInstruction":
+        copy = ProcessingInstruction(self.target, self.value)
+        if keep_xids:
+            copy.xid = self.xid
+        return copy
+
+    def __repr__(self):
+        return f"<PI {self.target!r}>"
+
+
+class Document(Node):
+    """The tree root: prolog nodes plus exactly one root element.
+
+    Attributes:
+        doctype_name: Root element name from the ``<!DOCTYPE ...>``
+            declaration, if one was present.
+        id_attributes: Set of ``(element_label, attribute_name)`` pairs the
+            DTD declared with type ``ID`` — the XML-specific knowledge BULD
+            Phase 1 exploits.
+    """
+
+    __slots__ = ("_children", "doctype_name", "id_attributes")
+
+    kind = "document"
+
+    def __init__(self, root: Optional[Element] = None):
+        super().__init__()
+        self._children: list[Node] = []
+        self.doctype_name: Optional[str] = None
+        self.id_attributes: set[tuple[str, str]] = set()
+        if root is not None:
+            self.append(root)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self._children
+
+    @property
+    def children(self) -> list[Node]:
+        return self._children
+
+    @property
+    def root(self) -> Optional[Element]:
+        """The single root element, or ``None`` for an empty document."""
+        for child in self._children:
+            if child.kind == "element":
+                return child
+        return None
+
+    def append(self, child: Node) -> Node:
+        if child.kind == "element" and self.root is not None:
+            raise ValueError("document already has a root element")
+        if child.parent is not None:
+            child.detach()
+        self._children.append(child)
+        child.parent = self
+        return child
+
+    def _shallow_equal(self, other: Node) -> bool:
+        # Doctype/id metadata is not content; equality is about the tree.
+        return True
+
+    def _shallow_clone(self, keep_xids: bool) -> "Document":
+        copy = Document()
+        copy.doctype_name = self.doctype_name
+        copy.id_attributes = set(self.id_attributes)
+        if keep_xids:
+            copy.xid = self.xid
+        return copy
+
+    def clone(self, *, keep_xids: bool = True) -> "Document":
+        return super().clone(keep_xids=keep_xids)  # narrowed return type
+
+    def __repr__(self):
+        root = self.root
+        label = root.label if root is not None else None
+        return f"<Document root={label!r}>"
+
+
+def coalesce_text(root: Node) -> int:
+    """Merge adjacent text siblings throughout a subtree.
+
+    Adjacent text nodes are legal in the tree model but cannot survive an
+    XML serialization round trip (they parse back as one node).  Anything
+    that persists documents (the version store) or must produce
+    serializable output (the merger) normalizes with this first.  Values
+    concatenate onto the first node of each run, which keeps its XID.
+
+    Returns:
+        The number of text nodes removed by coalescing.
+    """
+    removed = 0
+    for node in preorder(root):
+        children = node.children
+        if len(children) < 2:
+            continue
+        index = 1
+        while index < len(children):
+            previous = children[index - 1]
+            current = children[index]
+            if previous.kind == "text" and current.kind == "text":
+                previous.value += current.value
+                current.parent = None
+                del children[index]
+                removed += 1
+            else:
+                index += 1
+    return removed
+
+
+def preorder(node: Node) -> Iterator[Node]:
+    """Iterative pre-order traversal (node before its children)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        children = current.children
+        if children:
+            stack.extend(reversed(children))
+
+
+def postorder(node: Node) -> Iterator[Node]:
+    """Iterative post-order traversal (children before their parent)."""
+    stack: list[tuple[Node, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if expanded or current.is_leaf:
+            yield current
+            continue
+        stack.append((current, True))
+        for child in reversed(current.children):
+            stack.append((child, False))

@@ -1,0 +1,95 @@
+"""Tests for the Unix diff work-alike."""
+
+import random
+
+import pytest
+
+from repro.baselines import patch, unix_diff, unix_diff_size
+
+
+def lines(*items):
+    return "".join(item + "\n" for item in items)
+
+
+class TestFormat:
+    def test_no_difference(self):
+        text = lines("a", "b")
+        assert unix_diff(text, text) == ""
+
+    def test_single_change(self):
+        script = unix_diff(lines("a", "b", "c"), lines("a", "B", "c"))
+        assert script == "2c2\n< b\n---\n> B\n"
+
+    def test_delete(self):
+        script = unix_diff(lines("a", "b", "c"), lines("a", "c"))
+        assert script == "2d1\n< b\n"
+
+    def test_insert(self):
+        script = unix_diff(lines("a", "c"), lines("a", "b", "c"))
+        assert script == "1a2\n> b\n"
+
+    def test_multi_line_ranges(self):
+        script = unix_diff(lines("a", "x", "y", "d"), lines("a", "d"))
+        assert script.splitlines()[0] == "2,3d1"
+
+    def test_change_with_ranges(self):
+        script = unix_diff(
+            lines("a", "x", "y", "d"), lines("a", "p", "q", "r", "d")
+        )
+        assert script.splitlines()[0] == "2,3c2,4"
+
+
+class TestPatch:
+    @pytest.mark.parametrize(
+        "old,new",
+        [
+            (lines("a", "b", "c"), lines("a", "B", "c")),
+            (lines("a", "b", "c"), lines("a", "c")),
+            (lines("a", "c"), lines("a", "b", "c")),
+            (lines("a"), lines("b")),
+            (lines(), lines("a", "b")),
+            (lines("a", "b"), lines()),
+            (lines("same"), lines("same")),
+            (
+                lines("one", "two", "three", "four"),
+                lines("zero", "one", "three", "3.5", "four!"),
+            ),
+        ],
+    )
+    def test_patch_roundtrip(self, old, new):
+        assert patch(old, unix_diff(old, new)) == new
+
+    def test_patch_random(self):
+        rng = random.Random(11)
+        vocabulary = ["alpha", "beta", "gamma", "delta", ""]
+        for _ in range(50):
+            old = [rng.choice(vocabulary) for _ in range(rng.randint(0, 25))]
+            new = list(old)
+            for _ in range(rng.randint(0, 8)):
+                if new and rng.random() < 0.5:
+                    new.pop(rng.randrange(len(new)))
+                else:
+                    new.insert(rng.randint(0, len(new)), rng.choice(vocabulary))
+            old_text = lines(*old)
+            new_text = lines(*new)
+            assert patch(old_text, unix_diff(old_text, new_text)) == new_text
+
+    def test_malformed_script(self):
+        with pytest.raises(ValueError):
+            patch(lines("a"), "not a diff\n")
+
+
+class TestSize:
+    def test_size_zero_for_identical(self):
+        assert unix_diff_size("x\n", "x\n") == 0
+
+    def test_size_counts_bytes(self):
+        size = unix_diff_size(lines("a"), lines("b"))
+        assert size == len("1c1\n< a\n---\n> b\n")
+
+    def test_long_single_line_degenerates(self):
+        # The paper's point: with everything on one line, the script
+        # contains the whole old and new content.
+        old = "<a>" + "x" * 500 + "</a>\n"
+        new = "<a>" + "x" * 499 + "y</a>\n"
+        assert unix_diff_size(old, new) > len(old) + len(new) - 10

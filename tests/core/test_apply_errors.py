@@ -1,0 +1,124 @@
+"""Error paths of the delta applier."""
+
+import pytest
+
+from repro.core import (
+    AttributeDelete,
+    AttributeInsert,
+    AttributeUpdate,
+    Delta,
+    Update,
+    apply_delta,
+    assign_initial_xids,
+)
+from repro.xmlkit import ApplyError, parse
+
+
+def labelled(text):
+    doc = parse(text)
+    assign_initial_xids(doc)
+    return doc
+
+
+class TestUpdateErrors:
+    def test_update_on_element_rejected(self):
+        doc = labelled("<a><b/></a>")  # b=1, a=2
+        delta = Delta([Update(1, "x", "y")])
+        with pytest.raises(ApplyError):
+            apply_delta(delta, doc)
+
+    def test_update_applies_to_comment(self):
+        doc = labelled("<a><!--old--></a>")
+        delta = Delta([Update(1, "old", "new")])
+        result = apply_delta(delta, doc, verify=True)
+        assert result.root.children[0].value == "new"
+
+    def test_update_applies_to_pi(self):
+        doc = labelled("<a><?t old?></a>")
+        delta = Delta([Update(1, "old", "new")])
+        result = apply_delta(delta, doc, verify=True)
+        assert result.root.children[0].value == "new"
+
+
+class TestAttributeErrors:
+    def test_attr_insert_on_text_rejected(self):
+        doc = labelled("<a>txt</a>")  # text=1
+        delta = Delta([AttributeInsert(1, "k", "v")])
+        with pytest.raises(ApplyError):
+            apply_delta(delta, doc)
+
+    def test_attr_insert_existing_with_verify(self):
+        doc = labelled('<a k="1"/>')
+        delta = Delta([AttributeInsert(1, "k", "v")])
+        with pytest.raises(ApplyError):
+            apply_delta(delta, doc, verify=True)
+        # without verify it overwrites
+        result = apply_delta(delta, doc)
+        assert result.root.attributes["k"] == "v"
+
+    def test_attr_delete_missing(self):
+        doc = labelled("<a/>")
+        delta = Delta([AttributeDelete(1, "ghost", "v")])
+        with pytest.raises(ApplyError):
+            apply_delta(delta, doc)
+
+    def test_attr_delete_value_mismatch_with_verify(self):
+        doc = labelled('<a k="actual"/>')
+        delta = Delta([AttributeDelete(1, "k", "expected")])
+        with pytest.raises(ApplyError):
+            apply_delta(delta, doc, verify=True)
+        assert "k" not in apply_delta(delta, doc).root.attributes
+
+    def test_attr_update_missing(self):
+        doc = labelled("<a/>")
+        delta = Delta([AttributeUpdate(1, "ghost", "a", "b")])
+        with pytest.raises(ApplyError):
+            apply_delta(delta, doc)
+
+    def test_attr_update_old_value_mismatch(self):
+        doc = labelled('<a k="other"/>')
+        delta = Delta([AttributeUpdate(1, "k", "a", "b")])
+        with pytest.raises(ApplyError):
+            apply_delta(delta, doc, verify=True)
+
+
+class TestStructuralErrors:
+    def test_attach_to_text_node_rejected(self):
+        from repro.core import Insert
+        from repro.xmlkit import Element
+
+        doc = labelled("<a>txt</a>")  # text=1, a=2
+        payload = Element("x")
+        payload.xid = 99
+        delta = Delta([Insert(99, 1, 0, payload)])
+        with pytest.raises(ApplyError):
+            apply_delta(delta, doc)
+
+    def test_delete_of_detached_node(self):
+        from repro.core import Delete
+        from repro.xmlkit import Element
+
+        doc = labelled("<a><b/></a>")
+        payload = Element("b")
+        payload.xid = 1
+        # craft a delta that deletes b twice
+        delta = Delta(
+            [Delete(1, 2, 0, payload), Delete(1, 2, 0, payload)]
+        )
+        with pytest.raises(ApplyError):
+            apply_delta(delta, doc)
+
+    def test_lenient_clamps_positions(self):
+        from repro.core import Insert
+        from repro.xmlkit import Element
+
+        doc = labelled("<a/>")
+        payload = Element("x")
+        payload.xid = 50
+        delta = Delta([Insert(50, 1, 99, payload)])
+        # strict: out of range
+        with pytest.raises(ApplyError):
+            apply_delta(delta, doc)
+        # lenient: clamped to the end
+        result = apply_delta(delta, doc, lenient=True)
+        assert result.root.children[0].label == "x"

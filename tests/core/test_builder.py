@@ -1,0 +1,168 @@
+"""Unit tests for the Phase-5 delta builder, driven by handcrafted
+matchings (independent of how BULD would match)."""
+
+import pytest
+
+from repro.core import (
+    Matching,
+    XidAllocator,
+    apply_delta,
+    assign_initial_xids,
+    build_delta,
+)
+from repro.xmlkit import DeltaError, parse
+
+
+def documents(old_text, new_text):
+    old = parse(old_text)
+    new = parse(new_text)
+    assign_initial_xids(old)
+    return old, new
+
+
+class TestMaximalSubtrees:
+    def test_unmatched_subtree_is_one_delete(self):
+        old, new = documents("<r><a><b><c>x</c></b></a></r>", "<r/>")
+        matching = Matching()
+        matching.add(old.root, new.root)
+        delta = build_delta(old, new, matching)
+        deletes = delta.by_kind("delete")
+        assert len(deletes) == 1  # one maximal subtree, not four ops
+        assert deletes[0].subtree.label == "a"
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+    def test_matched_island_inside_unmatched_region(self):
+        old, new = documents(
+            "<r><zone><keep>k</keep><junk>j</junk></zone><spot/></r>",
+            "<r><spot><keep>k</keep></spot></r>",
+        )
+        matching = Matching()
+        matching.add(old.root, new.root)
+        old_spot = old.root.children[1]
+        new_spot = new.root.children[0]
+        matching.add(old_spot, new_spot)
+        old_keep = old.root.children[0].children[0]
+        new_keep = new_spot.children[0]
+        matching.add(old_keep, new_keep)
+        matching.add(old_keep.children[0], new_keep.children[0])
+        delta = build_delta(old, new, matching)
+        # keep moves out; zone (with a hole) is deleted
+        assert len(delta.by_kind("move")) == 1
+        deletes = delta.by_kind("delete")
+        assert len(deletes) == 1
+        payload_labels = [
+            c.label for c in deletes[0].subtree.children if c.kind == "element"
+        ]
+        assert payload_labels == ["junk"]  # keep is a hole
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+    def test_unmatched_text_update_vs_delete_insert(self):
+        # unmatched text nodes become delete+insert, matched ones update
+        old, new = documents("<r><t>old</t></r>", "<r><t>new</t></r>")
+        matching = Matching()
+        matching.add(old.root, new.root)
+        matching.add(old.root.children[0], new.root.children[0])
+        # text nodes NOT matched:
+        delta = build_delta(old, new, matching)
+        kinds = delta.summary()
+        assert kinds == {"delete": 1, "insert": 1}
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+    def test_matched_text_becomes_update(self):
+        old, new = documents("<r><t>old</t></r>", "<r><t>new</t></r>")
+        matching = Matching()
+        matching.add(old.root, new.root)
+        matching.add(old.root.children[0], new.root.children[0])
+        matching.add(
+            old.root.children[0].children[0], new.root.children[0].children[0]
+        )
+        delta = build_delta(old, new, matching)
+        assert delta.summary() == {"update": 1}
+
+
+class TestMoveChoices:
+    def test_weights_pick_the_lighter_mover(self):
+        old, new = documents(
+            "<r><heavy><a>lots of text content here</a>"
+            "<b>more text content</b></heavy><light/></r>",
+            "<r><light/><heavy><a>lots of text content here</a>"
+            "<b>more text content</b></heavy></r>",
+        )
+        matching = Matching()
+        matching.add(old.root, new.root)
+        for index_old, index_new in ((0, 1), (1, 0)):
+            old_child = old.root.children[index_old]
+            new_child = new.root.children[index_new]
+            matching.add(old_child, new_child)
+            stack = list(zip(old_child.children, new_child.children))
+            while stack:
+                o, n = stack.pop()
+                matching.add(o, n)
+                stack.extend(zip(o.children, n.children))
+        delta = build_delta(old, new, matching)
+        moves = delta.by_kind("move")
+        assert len(moves) == 1
+        # the light element moved, not the heavy one
+        from repro.core import xid_index
+
+        moved = xid_index(old)[moves[0].xid]
+        assert moved.label == "light"
+
+    def test_explicit_weights_override(self):
+        old, new = documents(
+            "<r><a>aa</a><b>bb</b></r>", "<r><b>bb</b><a>aa</a></r>"
+        )
+        matching = Matching()
+        matching.add(old.root, new.root)
+        pairs = [
+            (old.root.children[0], new.root.children[1]),
+            (old.root.children[1], new.root.children[0]),
+        ]
+        for o, n in pairs:
+            matching.add(o, n)
+            matching.add(o.children[0], n.children[0])
+        # force 'a' to be immensely heavy: 'b' must move
+        weights = {new.root.children[1]: 1000.0, new.root.children[0]: 1.0}
+        delta = build_delta(old, new, matching, weights=weights)
+        from repro.core import xid_index
+
+        moves = delta.by_kind("move")
+        assert len(moves) == 1
+        assert xid_index(old)[moves[0].xid].label == "b"
+
+
+class TestXidAssignment:
+    def test_custom_allocator(self):
+        old, new = documents("<r/>", "<r><fresh>f</fresh></r>")
+        matching = Matching()
+        matching.add(old.root, new.root)
+        allocator = XidAllocator(500)
+        delta = build_delta(old, new, matching, allocator=allocator)
+        insert = delta.by_kind("insert")[0]
+        assert insert.xid >= 500
+        assert delta.next_xid_before == 500
+        assert delta.next_xid_after == allocator.next_xid
+
+    def test_assign_new_xids_false_requires_labels(self):
+        old, new = documents("<r/>", "<r><fresh/></r>")
+        matching = Matching()
+        matching.add(old.root, new.root)
+        with pytest.raises(DeltaError):
+            build_delta(old, new, matching, assign_new_xids=False)
+
+    def test_unlabelled_old_document_gets_initial_xids(self):
+        old = parse("<r><a>x</a></r>")  # no assign_initial_xids
+        new = parse("<r><a>x</a></r>")
+        matching = Matching()
+        delta = build_delta(old, new, matching)
+        assert old.root.xid is not None
+        # nothing matched except documents: full replace
+        assert len(delta.by_kind("delete")) == 1
+        assert len(delta.by_kind("insert")) == 1
+
+    def test_document_pair_added_implicitly(self):
+        old, new = documents("<r/>", "<r/>")
+        matching = Matching()  # no doc pair
+        matching.add(old.root, new.root)
+        delta = build_delta(old, new, matching)
+        assert delta.is_empty()

@@ -1,0 +1,90 @@
+"""Tests for data guides."""
+
+from repro.core.dataguide import DataGuide
+from repro.xmlkit import parse
+
+
+DOC = parse(
+    "<catalog>"
+    "<category><title>Cameras</title>"
+    "<product><name>A</name><price>1</price></product>"
+    "<product><name>B</name><price>2</price></product>"
+    "</category>"
+    "</catalog>"
+)
+
+
+class TestBuilding:
+    def test_paths_collected(self):
+        guide = DataGuide.from_document(DOC)
+        assert "/catalog" in guide.paths()
+        assert "/catalog/category/product/price" in guide.paths()
+        assert "/catalog/category/product/price/#text" in guide.paths()
+
+    def test_counts(self):
+        guide = DataGuide.from_document(DOC)
+        assert guide.count("/catalog") == 1
+        assert guide.count("/catalog/category/product") == 2
+        assert guide.count("/catalog/category/product/name/#text") == 2
+        assert guide.count("/missing") == 0
+
+    def test_contains(self):
+        guide = DataGuide.from_document(DOC)
+        assert guide.contains("/catalog/category/title")
+        assert not guide.contains("/catalog/category/subtitle")
+
+    def test_multiple_documents_accumulate(self):
+        guide = DataGuide()
+        guide.add_document(DOC)
+        guide.add_document(parse("<catalog><category/></catalog>"))
+        assert guide.document_count == 2
+        assert guide.count("/catalog") == 2
+        assert guide.count("/catalog/category") == 2
+
+    def test_merge(self):
+        a = DataGuide.from_document(DOC)
+        b = DataGuide.from_document(parse("<catalog><extra/></catalog>"))
+        a.merge(b)
+        assert a.count("/catalog") == 2
+        assert a.contains("/catalog/extra")
+        assert a.document_count == 2
+
+    def test_comment_and_pi_paths(self):
+        guide = DataGuide.from_document(
+            parse("<a><!--c--><?pi d?></a>")
+        )
+        assert guide.contains("/a/#comment")
+        assert guide.contains("/a/#pi")
+
+
+class TestQueries:
+    def test_children_of(self):
+        guide = DataGuide.from_document(DOC)
+        children = guide.children_of("/catalog/category/product")
+        assert children == [
+            "/catalog/category/product/name",
+            "/catalog/category/product/price",
+        ]
+
+    def test_children_of_root(self):
+        guide = DataGuide.from_document(DOC)
+        assert guide.children_of("/catalog") == ["/catalog/category"]
+
+    def test_iteration_sorted(self):
+        guide = DataGuide.from_document(DOC)
+        items = list(guide)
+        assert items == sorted(items)
+
+    def test_len(self):
+        guide = DataGuide.from_document(parse("<a><b/><b/></a>"))
+        assert len(guide) == 2  # /a and /a/b
+
+    def test_paths_agree_with_label_path_of(self):
+        from repro.xmlkit import preorder
+        from repro.xmlkit.path import label_path_of
+
+        guide = DataGuide.from_document(DOC)
+        for node in preorder(DOC):
+            if node.kind == "document":
+                continue
+            assert guide.contains(label_path_of(node))

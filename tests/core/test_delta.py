@@ -1,0 +1,130 @@
+"""Tests for operation classes and the Delta container."""
+
+import pytest
+
+from repro.core import (
+    AttributeDelete,
+    AttributeInsert,
+    AttributeUpdate,
+    Delete,
+    Delta,
+    Insert,
+    Move,
+    Update,
+    assign_initial_xids,
+)
+from repro.xmlkit import DeltaError, parse
+
+
+def labelled_subtree(text="<p><q>t</q></p>"):
+    doc = parse(text)
+    assign_initial_xids(doc)
+    return doc.root.clone()
+
+
+class TestOperations:
+    def test_delete_checks_root_xid(self):
+        subtree = labelled_subtree()
+        with pytest.raises(DeltaError):
+            Delete(999, 1, 0, subtree)
+
+    def test_delete_insert_inversion(self):
+        subtree = labelled_subtree()
+        delete = Delete(subtree.xid, 7, 2, subtree)
+        insert = delete.inverted()
+        assert isinstance(insert, Insert)
+        assert insert.xid == delete.xid
+        assert insert.parent_xid == 7
+        assert insert.position == 2
+        assert insert.inverted() == delete
+
+    def test_xid_map_property(self):
+        subtree = labelled_subtree()
+        delete = Delete(subtree.xid, 7, 0, subtree)
+        assert delete.xid_map == "(1-3)"
+
+    def test_move_inversion(self):
+        move = Move(5, 1, 0, 2, 3)
+        back = move.inverted()
+        assert (back.from_parent_xid, back.from_position) == (2, 3)
+        assert (back.to_parent_xid, back.to_position) == (1, 0)
+        assert back.inverted() == move
+
+    def test_update_inversion(self):
+        update = Update(4, "old", "new")
+        assert update.inverted() == Update(4, "new", "old")
+
+    def test_attribute_inversions(self):
+        insert = AttributeInsert(3, "k", "v")
+        assert insert.inverted() == AttributeDelete(3, "k", "v")
+        assert insert.inverted().inverted() == insert
+        update = AttributeUpdate(3, "k", "a", "b")
+        assert update.inverted() == AttributeUpdate(3, "k", "b", "a")
+
+    def test_equality_is_structural(self):
+        a = Delete(3, 7, 0, labelled_subtree())
+        b = Delete(3, 7, 0, labelled_subtree())
+        assert a == b
+        c = Delete(3, 7, 1, labelled_subtree())
+        assert a != c
+
+    def test_equality_includes_payload_content(self):
+        a = Insert(3, 7, 0, labelled_subtree("<p><q>t</q></p>"))
+        b = Insert(3, 7, 0, labelled_subtree("<p><q>u</q></p>"))
+        assert a != b
+
+    def test_cross_kind_inequality(self):
+        assert Update(1, "a", "b") != Move(1, 0, 0, 0, 0)
+
+
+class TestDelta:
+    def make_delta(self):
+        return Delta(
+            [
+                Update(4, "a", "b"),
+                Move(5, 1, 0, 2, 1),
+                Delete(3, 7, 0, labelled_subtree()),
+            ],
+            base_version=1,
+            target_version=2,
+            next_xid_before=10,
+            next_xid_after=12,
+        )
+
+    def test_summary(self):
+        assert self.make_delta().summary() == {
+            "update": 1,
+            "move": 1,
+            "delete": 1,
+        }
+
+    def test_by_kind(self):
+        delta = self.make_delta()
+        assert len(delta.by_kind("move")) == 1
+        assert delta.by_kind("insert") == []
+
+    def test_len_and_iter(self):
+        delta = self.make_delta()
+        assert len(delta) == 3
+        assert len(list(delta)) == 3
+        assert not delta.is_empty()
+        assert Delta([]).is_empty()
+
+    def test_inverted_swaps_versions(self):
+        inverse = self.make_delta().inverted()
+        assert inverse.base_version == 2
+        assert inverse.target_version == 1
+        assert inverse.next_xid_before == 12
+        assert inverse.next_xid_after == 10
+
+    def test_double_inversion_is_identity(self):
+        delta = self.make_delta()
+        assert delta.inverted().inverted() == delta
+
+    def test_equality_is_set_based(self):
+        delta = self.make_delta()
+        reordered = Delta(list(reversed(delta.operations)))
+        assert delta == reordered
+
+    def test_repr_mentions_counts(self):
+        assert "move=1" in repr(self.make_delta())

@@ -1,0 +1,139 @@
+"""Tests for the public diff entry point and its statistics."""
+
+import pytest
+
+from repro.core import (
+    DiffConfig,
+    XidAllocator,
+    apply_delta,
+    diff,
+    diff_with_stats,
+    max_xid,
+)
+from repro.xmlkit import parse, postorder
+
+
+class TestDiffApi:
+    def test_assigns_initial_xids_to_old(self):
+        old = parse("<a><b/></a>")
+        new = parse("<a><b/></a>")
+        diff(old, new)
+        assert old.root.xid is not None
+
+    def test_new_document_gets_xids(self):
+        old = parse("<a><b/></a>")
+        new = parse("<a><b/><c/></a>")
+        diff(old, new)
+        assert all(
+            node.xid is not None for node in postorder(new) if node is not new
+        )
+
+    def test_matched_nodes_inherit_xids(self):
+        old = parse("<a><b>stable text</b></a>")
+        new = parse("<a><b>stable text</b><c/></a>")
+        diff(old, new)
+        assert new.root.children[0].xid == old.root.children[0].xid
+
+    def test_inserted_nodes_get_fresh_xids(self):
+        old = parse("<a><b/></a>")
+        new = parse("<a><b/><c/></a>")
+        diff(old, new)
+        top = max_xid(old)
+        inserted = new.root.children[1]
+        assert inserted.xid > top
+
+    def test_custom_allocator_respected(self):
+        old = parse("<a><b/></a>")
+        new = parse("<a><b/><c/></a>")
+        allocator = XidAllocator(1000)
+        diff(old, new, allocator=allocator)
+        assert new.root.children[1].xid >= 1000
+        assert allocator.next_xid > 1000
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            diff(parse("<a/>"), parse("<a/>"), DiffConfig(max_candidates=0))
+
+    def test_diff_never_misses_changes(self):
+        # The paper's correctness claim: whatever the matching quality,
+        # the delta transforms old into new exactly.
+        cases = [
+            ("<a/>", "<a>text</a>"),
+            ("<a><b/><b/><b/></a>", "<a><b/></a>"),
+            ("<r><x>1</x><y>2</y></r>", "<r><y>2</y><x>1</x></r>"),
+            ("<r>t1<e/>t2</r>", "<r>t2<e/>t1</r>"),
+            ("<a><b><c><d/></c></b></a>", "<a><d/></a>"),
+        ]
+        for old_text, new_text in cases:
+            old = parse(old_text, strip_whitespace=False)
+            new = parse(new_text, strip_whitespace=False)
+            delta = diff(old, new)
+            assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+
+class TestDiffStats:
+    def test_phases_all_timed(self):
+        old = parse("<a><b>x</b></a>")
+        new = parse("<a><b>y</b></a>")
+        _, stats = diff_with_stats(old, new)
+        assert set(stats.phase_seconds) == {
+            "phase1",
+            "phase2",
+            "phase3",
+            "phase4",
+            "phase5",
+        }
+        assert stats.total_seconds >= 0
+        assert stats.core_seconds <= stats.total_seconds
+
+    def test_node_counts(self):
+        old = parse("<a><b>x</b></a>")  # doc, a, b, text = 4
+        new = parse("<a><b>x</b><c/></a>")  # 5
+        _, stats = diff_with_stats(old, new)
+        assert stats.old_nodes == 4
+        assert stats.new_nodes == 5
+
+    def test_matched_count_excludes_document_pair(self):
+        old = parse("<a><b>x</b></a>")
+        new = parse("<a><b>x</b></a>")
+        _, stats = diff_with_stats(old, new)
+        assert stats.matched_nodes == 3  # a, b, text
+
+    def test_operation_counts_match_delta(self):
+        old = parse("<a><b>x</b></a>")
+        new = parse("<a><b>y</b></a>")
+        delta, stats = diff_with_stats(old, new)
+        assert stats.operation_counts == delta.summary()
+
+
+class TestConfigKnobs:
+    def test_eager_down_still_correct(self):
+        old = parse("<r><p><a>one</a><b>two</b></p></r>")
+        new = parse("<r><p><a>ONE</a><b>TWO</b></p></r>")
+        config = DiffConfig(lazy_down=False)
+        delta = diff(old, new, config)
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+    def test_zero_optimization_passes_still_correct(self):
+        old = parse("<r><p><a>one</a></p></r>")
+        new = parse("<r><p><a>two</a></p></r>")
+        config = DiffConfig(optimization_passes=0)
+        delta = diff(old, new, config)
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+    def test_flat_text_weight_still_correct(self):
+        old = parse("<r><a>" + "x" * 500 + "</a><b>s</b></r>")
+        new = parse("<r><b>s</b><a>" + "x" * 500 + "</a></r>")
+        config = DiffConfig(log_text_weight=False)
+        delta = diff(old, new, config)
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+    def test_tiny_move_threshold_uses_chunked_path(self):
+        old = parse("<r>" + "".join(f"<i>{k}</i>" for k in range(30)) + "</r>")
+        shuffled = [17, 3, 25, 8] + [k for k in range(30) if k not in (17, 3, 25, 8)]
+        new = parse(
+            "<r>" + "".join(f"<i>{k}</i>" for k in shuffled) + "</r>"
+        )
+        config = DiffConfig(exact_move_threshold=5, move_block_length=5)
+        delta = diff(old, new, config)
+        assert apply_delta(delta, old, verify=True).deep_equal(new)

@@ -1,0 +1,118 @@
+"""Tests for human-readable delta explanations."""
+
+from repro.core import diff
+from repro.core.explain import explain_delta
+from repro.xmlkit import parse
+
+
+def explanation(old_text, new_text, with_docs=True):
+    old = parse(old_text)
+    new = parse(new_text)
+    delta = diff(old, new)
+    if with_docs:
+        return explain_delta(delta, old, new)
+    return explain_delta(delta)
+
+
+class TestExplanations:
+    def test_empty(self):
+        assert explanation("<a/>", "<a/>") == "no changes"
+
+    def test_update_shows_values_and_path(self):
+        text = explanation("<a><b>old value</b></a>", "<a><b>new value</b></a>")
+        assert "updated" in text
+        assert '"old value" -> "new value"' in text
+        assert "/a/b/text()" in text
+
+    def test_delete_shows_subject_and_place(self):
+        text = explanation(
+            "<shop><item><name>lamp</name></item><keep>k</keep></shop>",
+            "<shop><keep>k</keep></shop>",
+        )
+        assert "deleted" in text
+        assert "<item>" in text
+        assert '"lamp"' in text
+        assert "from /shop" in text
+        assert "3 nodes" in text
+
+    def test_insert(self):
+        text = explanation("<shop/>", "<shop><item>new</item></shop>")
+        assert "inserted <item>" in text
+        assert "into /shop" in text
+
+    def test_cross_parent_move(self):
+        text = explanation(
+            "<r><a><thing><d>payload text</d></thing></a><b/></r>",
+            "<r><a/><b><thing><d>payload text</d></thing></b></r>",
+        )
+        assert "moved" in text
+        assert "from /r/a" in text
+        assert "to /r/b" in text
+
+    def test_intra_parent_move(self):
+        text = explanation(
+            "<r><a>aaaa</a><b>bbbb</b><c>cccc</c></r>",
+            "<r><c>cccc</c><a>aaaa</a><b>bbbb</b></r>",
+        )
+        assert "within /r" in text
+        assert "position" in text
+
+    def test_attribute_changes(self):
+        text = explanation(
+            '<a k="1" dead="x"><t>tt</t></a>',
+            '<a k="2" born="y"><t>tt</t></a>',
+        )
+        assert 'changed  attribute k' in text
+        assert 'removed  attribute dead' in text
+        assert 'set      attribute born="y"' in text
+
+    def test_long_values_truncated(self):
+        text = explanation(
+            "<a><b>" + "long " * 50 + "</b></a>",
+            "<a><b>short</b></a>",
+        )
+        assert "..." in text
+        assert len(max(text.splitlines(), key=len)) < 160
+
+    def test_without_documents_falls_back_to_xids(self):
+        text = explanation(
+            "<a><b>one</b></a>", "<a><b>two</b></a>", with_docs=False
+        )
+        assert "node #" in text
+
+    def test_stable_operation_order(self):
+        text = explanation(
+            "<r><gone>g</gone><txt>old</txt></r>",
+            "<r><txt>new</txt><fresh>f</fresh></r>",
+        )
+        lines = text.splitlines()
+        kinds = [line.split()[0] for line in lines]
+        assert kinds == sorted(
+            kinds,
+            key=lambda k: {"deleted": 0, "inserted": 1, "moved": 2,
+                           "updated": 3}.get(k, 4),
+        )
+
+    def test_paper_example_narrative(self):
+        old = parse(
+            "<Category><Title>Digital Cameras</Title>"
+            "<Discount><Product><Name>tx123</Name><Price>$499</Price>"
+            "</Product></Discount>"
+            "<NewProducts><Product><Name>zy456</Name><Price>$799</Price>"
+            "</Product></NewProducts></Category>"
+        )
+        new = parse(
+            "<Category><Title>Digital Cameras</Title>"
+            "<Discount><Product><Name>zy456</Name><Price>$699</Price>"
+            "</Product></Discount>"
+            "<NewProducts><Product><Name>abc</Name><Price>$899</Price>"
+            "</Product></NewProducts></Category>"
+        )
+        delta = diff(old, new)
+        text = explain_delta(delta, old, new)
+        assert "deleted  <Product>" in text
+        assert "tx123" in text
+        assert "inserted <Product>" in text
+        assert "abc" in text
+        assert "moved" in text
+        assert '"$799" -> "$699"' in text

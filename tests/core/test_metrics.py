@@ -1,0 +1,78 @@
+"""Tests for delta quality metrics."""
+
+import pytest
+
+from repro.core import diff
+from repro.core.metrics import edit_cost, nodes_touched, operation_count
+from repro.xmlkit import parse
+
+
+def make(old_text, new_text):
+    old = parse(old_text)
+    delta = diff(old, parse(new_text))
+    return old, delta
+
+
+class TestCounts:
+    def test_operation_count(self):
+        _, delta = make("<a><b>x</b><c>y</c></a>", "<a><b>z</b></a>")
+        assert operation_count(delta) == 2  # update + delete
+
+    def test_nodes_touched_expands_payloads(self):
+        _, delta = make("<a/>", "<a><b><c>t</c></b></a>")
+        # one insert of a 3-node subtree
+        assert operation_count(delta) == 1
+        assert nodes_touched(delta) == 3
+
+    def test_empty_delta(self):
+        _, delta = make("<a/>", "<a/>")
+        assert operation_count(delta) == 0
+        assert nodes_touched(delta) == 0
+        assert edit_cost(delta) == 0.0
+
+
+class TestEditCost:
+    def test_update_costs_one(self):
+        _, delta = make("<a><b>x</b></a>", "<a><b>y</b></a>")
+        assert edit_cost(delta) == 1.0
+
+    def test_delete_costs_subtree_size(self):
+        _, delta = make("<a><b><c>t</c></b></a>", "<a/>")
+        assert edit_cost(delta) == 3.0
+
+    def test_move_models_intra_parent(self):
+        old, delta = make(
+            "<r><big><x>one</x><y>two</y></big><spot/></r>",
+            "<r><spot/><big><x>one</x><y>two</y></big></r>",
+        )
+        assert len(delta.by_kind("move")) == 1
+        assert edit_cost(delta, move_model="free") == 0.0
+        assert edit_cost(delta, move_model="unit") == 1.0
+        # the weighted LIS keeps the heavy <big> in place and moves the
+        # 1-node <spot>: the delete+insert model bills 2 x 1 nodes
+        assert edit_cost(delta, old, move_model="delete-insert") == 2.0
+
+    def test_move_models_cross_parent(self):
+        old, delta = make(
+            "<r><a><big><x>one</x><y>two</y></big></a><b/></r>",
+            "<r><a/><b><big><x>one</x><y>two</y></big></b></r>",
+        )
+        assert delta.summary() == {"move": 1}
+        # <big> has 5 nodes; the delete+insert model bills both directions
+        assert edit_cost(delta, old, move_model="delete-insert") == 10.0
+
+    def test_delete_insert_model_requires_document(self):
+        _, delta = make(
+            "<r><b>xx</b><c>yy</c></r>", "<r><c>yy</c><b>xx</b></r>"
+        )
+        with pytest.raises(ValueError):
+            edit_cost(delta, move_model="delete-insert")
+
+    def test_unknown_move_model(self):
+        _, delta = make("<a/>", "<a/>")
+        with pytest.raises(ValueError):
+            edit_cost(delta, move_model="banana")
+
+    def test_attribute_ops_cost_one_each(self):
+        _, delta = make('<a k="1" d="x"/>', '<a k="2" n="y"/>')
+        assert edit_cost(delta) == 3.0

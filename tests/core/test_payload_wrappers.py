@@ -1,0 +1,133 @@
+"""Non-element payloads and document-level operations.
+
+Deletes/inserts of bare text nodes, comments and processing instructions
+exercise the xy:* wrapper path of the delta XML representation, and
+operations at document level (prolog comments/PIs) exercise the reserved
+document XID 0 as a parent.
+"""
+
+import pytest
+
+from repro.core import (
+    apply_backward,
+    apply_delta,
+    diff,
+    parse_delta,
+    serialize_delta,
+)
+from repro.xmlkit import parse
+
+
+def roundtrip_through_xml(old_text, new_text):
+    old = parse(old_text, strip_whitespace=False)
+    new = parse(new_text, strip_whitespace=False)
+    delta = parse_delta(serialize_delta(diff(old, new)))
+    assert apply_delta(delta, old, verify=True).deep_equal(new)
+    assert apply_backward(delta, new, verify=True).deep_equal(old)
+    return delta
+
+
+class TestTextPayloads:
+    def test_delete_text_node(self):
+        delta = roundtrip_through_xml("<a>gone<b/></a>", "<a><b/></a>")
+        deletes = delta.by_kind("delete")
+        assert len(deletes) == 1
+        assert deletes[0].subtree.kind == "text"
+        assert deletes[0].subtree.value == "gone"
+
+    def test_insert_text_node(self):
+        delta = roundtrip_through_xml("<a><b/></a>", "<a><b/>fresh</a>")
+        inserts = delta.by_kind("insert")
+        assert len(inserts) == 1
+        assert inserts[0].subtree.kind == "text"
+
+    def test_whitespace_only_text_payload(self):
+        roundtrip_through_xml("<a> <b/></a>", "<a><b/></a>")
+
+    def test_text_with_special_characters(self):
+        roundtrip_through_xml(
+            "<a><b/></a>", "<a><b/>a &amp; b &lt; c</a>"
+        )
+
+    def test_empty_update_values(self):
+        # both directions with an empty side
+        doc = parse("<a><b>x</b><c>keep</c></a>", strip_whitespace=False)
+        # text value -> empty is delete+insert (empty text nodes are not
+        # representable); instead update to a space
+        roundtrip_through_xml(
+            "<a><b>x</b><c>keep</c></a>", "<a><b> </b><c>keep</c></a>"
+        )
+
+
+class TestCommentAndPiPayloads:
+    def test_delete_comment(self):
+        delta = roundtrip_through_xml(
+            "<a><!--bye--><b/></a>", "<a><b/></a>"
+        )
+        assert delta.by_kind("delete")[0].subtree.kind == "comment"
+
+    def test_insert_pi(self):
+        delta = roundtrip_through_xml(
+            "<a><b/></a>", "<a><?target some data?><b/></a>"
+        )
+        insert = delta.by_kind("insert")[0]
+        assert insert.subtree.kind == "pi"
+        assert insert.subtree.target == "target"
+        assert insert.subtree.value == "some data"
+
+    def test_pi_without_data(self):
+        roundtrip_through_xml("<a><b/></a>", "<a><?bare?><b/></a>")
+
+    def test_update_comment_value(self):
+        delta = roundtrip_through_xml(
+            "<a><!--one--><b>anchor text</b></a>",
+            "<a><!--two--><b>anchor text</b></a>",
+        )
+        assert delta.summary() == {"update": 1}
+
+    def test_update_pi_value(self):
+        delta = roundtrip_through_xml(
+            "<a><?p one?><b>anchor text</b></a>",
+            "<a><?p two?><b>anchor text</b></a>",
+        )
+        assert delta.summary() == {"update": 1}
+
+    def test_pi_target_change_is_replace(self):
+        delta = roundtrip_through_xml(
+            "<a><?one data?><b>anchor text</b></a>",
+            "<a><?two data?><b>anchor text</b></a>",
+        )
+        kinds = delta.summary()
+        assert kinds.get("delete") == 1
+        assert kinds.get("insert") == 1
+
+
+class TestDocumentLevelOperations:
+    def test_prolog_comment_inserted(self):
+        delta = roundtrip_through_xml("<a/>", "<!--header--><a/>")
+        insert = delta.by_kind("insert")[0]
+        assert insert.parent_xid == 0  # the document node
+
+    def test_prolog_comment_deleted(self):
+        roundtrip_through_xml("<!--header--><a/>", "<a/>")
+
+    def test_prolog_pi_changed(self):
+        roundtrip_through_xml(
+            "<?xml-stylesheet href='a'?><r><x>body</x></r>",
+            "<?xml-stylesheet href='b'?><r><x>body</x></r>",
+        )
+
+    def test_prolog_reorder(self):
+        roundtrip_through_xml(
+            "<!--one--><?p d?><a/>",
+            "<?p d?><!--one--><a/>",
+        )
+
+    def test_root_swap_with_prolog_intact(self):
+        delta = roundtrip_through_xml(
+            "<!--keep--><old><x>1</x></old>",
+            "<!--keep--><new><x>1</x></new>",
+        )
+        kinds = delta.summary()
+        assert kinds.get("delete") == 1
+        assert kinds.get("insert") == 1

@@ -1,0 +1,111 @@
+"""XID persistence guarantees across version chains.
+
+The change model's value rests on identifiers being *persistent*: a node
+that survives an edit keeps its XID forever, so temporal queries, the
+index and subscriptions can track it.  These tests pin that behaviour
+down across multi-version chains.
+"""
+
+from repro.core import diff, max_xid, xid_index
+from repro.simulator import SimulatorConfig, generate_catalog, simulate_changes
+from repro.versioning import VersionStore
+from repro.xmlkit import parse, preorder
+
+
+class TestXidStability:
+    def test_unchanged_nodes_keep_xids_across_diff(self):
+        old = parse(
+            "<catalog><product><name>alpha</name><price>$1</price></product>"
+            "<product><name>beta</name><price>$2</price></product></catalog>"
+        )
+        new = parse(
+            "<catalog><product><name>alpha</name><price>$1</price></product>"
+            "<product><name>beta</name><price>$9</price></product>"
+            "<product><name>gamma</name><price>$3</price></product></catalog>"
+        )
+        diff(old, new)
+        old_names = {
+            node.text_content(): node.xid
+            for node in preorder(old)
+            if node.kind == "element" and node.label == "name"
+        }
+        new_names = {
+            node.text_content(): node.xid
+            for node in preorder(new)
+            if node.kind == "element" and node.label == "name"
+        }
+        assert new_names["alpha"] == old_names["alpha"]
+        assert new_names["beta"] == old_names["beta"]
+        assert new_names["gamma"] not in old_names.values()
+
+    def test_xids_stable_over_long_simulated_chain(self):
+        """A node untouched by five rounds of changes keeps one XID."""
+        store = VersionStore()
+        base = generate_catalog(products=12, categories=2, seed=3)
+        store.create("cat", base)
+
+        # pick a tracer: the title of the first category
+        v1 = store.get_current("cat")
+        tracer_xid = v1.root.find("category").find("title").xid
+        tracer_text = v1.root.find("category").find("title").text_content()
+
+        current = base
+        for round_number in range(5):
+            result = simulate_changes(
+                current,
+                SimulatorConfig(0.03, 0.08, 0.04, 0.02, seed=round_number),
+            )
+            current = result.new_document
+            store.commit("cat", current)
+
+        final = store.get_current("cat")
+        index = xid_index(final)
+        if tracer_xid in index:
+            node = index[tracer_xid]
+            assert node.label == "title"
+            # content may have been updated, but identity held
+        # either way, reconstruct v1 and confirm the tracer is there
+        replayed = store.get_version("cat", 1)
+        assert xid_index(replayed)[tracer_xid].text_content() == tracer_text
+
+    def test_xids_never_reused(self):
+        store = VersionStore()
+        store.create("d", parse("<r><a>one</a></r>"))
+        seen: set[int] = set()
+        for node in preorder(store.get_current("d")):
+            if node.xid:
+                seen.add(node.xid)
+        texts = ["<r><b>two</b></r>", "<r><a>one</a></r>", "<r><c>3</c></r>"]
+        for text in texts:
+            store.commit("d", parse(text))
+            current = store.get_current("d")
+            for operation in store.delta(
+                "d", store.current_version("d") - 1
+            ).by_kind("insert"):
+                # every inserted XID is brand new
+                from repro.core import subtree_xids
+
+                for xid in subtree_xids(operation.subtree):
+                    assert xid not in seen
+                    seen.add(xid)
+
+    def test_deleted_then_reinserted_content_gets_new_identity(self):
+        # deleting <a>one</a> and later adding identical content must NOT
+        # resurrect the old XID (it is a different node that happens to
+        # look the same)
+        store = VersionStore()
+        store.create("d", parse("<r><a>one</a><z>keep</z></r>"))
+        original_xid = store.get_current("d").root.find("a").xid
+        store.commit("d", parse("<r><z>keep</z></r>"))
+        store.commit("d", parse("<r><a>one</a><z>keep</z></r>"))
+        reborn_xid = store.get_current("d").root.find("a").xid
+        assert reborn_xid != original_xid
+
+    def test_allocator_monotone_across_store(self):
+        store = VersionStore()
+        store.create("d", parse("<r><a>x</a></r>"))
+        tops = [max_xid(store.get_current("d"))]
+        for text in ("<r><a>x</a><b/></r>", "<r><a>x</a><b/><c/></r>"):
+            store.commit("d", parse(text))
+            tops.append(max_xid(store.get_current("d")))
+        assert tops == sorted(tops)

@@ -1,0 +1,82 @@
+"""Property-based tests for the algorithmic building blocks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import patch, tree_edit_distance, unix_diff
+from repro.core.lcs import lcs_length, lcs_pairs, myers_opcodes
+from repro.core.moves import (
+    chunked_increasing_subsequence,
+    heaviest_increasing_subsequence,
+)
+
+from tests.property.strategies import documents
+
+short_int_lists = st.lists(st.integers(0, 30), max_size=40)
+
+
+@settings(max_examples=80, deadline=None)
+@given(short_int_lists, short_int_lists)
+def test_myers_matches_dp_edit_distance(a, b):
+    opcodes = myers_opcodes(a, b)
+    deleted = sum(i2 - i1 for t, i1, i2, _, _ in opcodes if t == "delete")
+    inserted = sum(j2 - j1 for t, _, _, j1, j2 in opcodes if t == "insert")
+    assert deleted + inserted == len(a) + len(b) - 2 * lcs_length(a, b)
+
+
+@settings(max_examples=80, deadline=None)
+@given(short_int_lists, short_int_lists)
+def test_lcs_pairs_consistent_with_length(a, b):
+    pairs = lcs_pairs(a, b)
+    assert len(pairs) == lcs_length(a, b)
+    for i, j in pairs:
+        assert a[i] == b[j]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.integers(0, 50), max_size=30),
+    st.integers(1, 10),
+)
+def test_chunked_lis_is_valid_and_bounded(values, block):
+    weights = [1.0] * len(values)
+    exact_total, exact_chain = heaviest_increasing_subsequence(values, weights)
+    chunk_total, chunk_chain = chunked_increasing_subsequence(
+        values, weights, block_length=block
+    )
+    # validity
+    picked = [values[i] for i in chunk_chain]
+    assert all(x < y for x, y in zip(picked, picked[1:]))
+    # never better than exact
+    assert chunk_total <= exact_total
+    # exact chain itself is valid and sorted
+    exact_picked = [values[i] for i in exact_chain]
+    assert all(x < y for x, y in zip(exact_picked, exact_picked[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.text(alphabet="abc", max_size=3), max_size=15),
+    st.lists(st.text(alphabet="abc", max_size=3), max_size=15),
+)
+def test_unix_diff_patch_roundtrip(old_lines, new_lines):
+    old_text = "".join(line + "\n" for line in old_lines)
+    new_text = "".join(line + "\n" for line in new_lines)
+    assert patch(old_text, unix_diff(old_text, new_text)) == new_text
+
+
+@settings(max_examples=15, deadline=None)
+@given(documents(max_depth=2), documents(max_depth=2))
+def test_tree_edit_distance_axioms(a, b):
+    d_ab = tree_edit_distance(a, b)
+    assert d_ab >= 0
+    assert tree_edit_distance(b, a) == d_ab
+    if a.deep_equal(b):
+        assert d_ab == 0
+    # never exceeds delete-all + insert-all
+    assert d_ab <= (a.subtree_size() - 1) + (b.subtree_size() - 1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(documents(max_depth=2))
+def test_tree_edit_distance_identity(document):
+    assert tree_edit_distance(document, document.clone()) == 0

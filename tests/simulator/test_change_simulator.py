@@ -1,0 +1,134 @@
+"""Tests for the change simulator and its ground-truth delta."""
+
+import pytest
+
+from repro.core import apply_delta, max_xid
+from repro.simulator import (
+    GeneratorConfig,
+    SimulatorConfig,
+    generate_document,
+    simulate_changes,
+)
+from repro.xmlkit import parse, preorder
+
+
+def small_doc(seed=0):
+    return generate_document(GeneratorConfig(target_nodes=120, seed=seed))
+
+
+class TestGroundTruth:
+    def test_perfect_delta_transforms_old_into_new(self):
+        doc = small_doc()
+        result = simulate_changes(doc, SimulatorConfig(seed=1))
+        replay = apply_delta(result.perfect_delta, doc, verify=True)
+        assert replay.deep_equal(result.new_document)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_many_seeds(self, seed):
+        doc = small_doc(seed)
+        result = simulate_changes(doc, SimulatorConfig(seed=seed + 100))
+        replay = apply_delta(result.perfect_delta, doc, verify=True)
+        assert replay.deep_equal(result.new_document)
+
+    def test_input_document_not_structurally_modified(self):
+        doc = small_doc()
+        pristine = doc.clone()
+        simulate_changes(doc, SimulatorConfig(seed=2))
+        assert doc.deep_equal(pristine)
+
+    def test_moves_appear_as_move_operations(self):
+        doc = small_doc(3)
+        config = SimulatorConfig(
+            delete_probability=0.15,
+            update_probability=0.0,
+            insert_probability=0.0,
+            move_probability=0.5,
+            seed=3,
+        )
+        result = simulate_changes(doc, config)
+        if result.counts["moves"]:
+            assert len(result.perfect_delta.by_kind("move")) >= 1
+
+    def test_new_document_fully_labelled(self):
+        result = simulate_changes(small_doc(4), SimulatorConfig(seed=4))
+        for node in preorder(result.new_document):
+            if node.kind != "document":
+                assert node.xid is not None
+
+    def test_fresh_xids_are_above_old_range(self):
+        doc = small_doc(5)
+        top = None
+        result = simulate_changes(doc, SimulatorConfig(seed=5))
+        top = max_xid(doc)
+        inserted = result.perfect_delta.by_kind("insert")
+        for operation in inserted:
+            assert operation.xid > top
+
+
+class TestPhases:
+    def test_zero_probabilities_change_nothing(self):
+        doc = small_doc(6)
+        config = SimulatorConfig(0.0, 0.0, 0.0, 0.0, seed=6)
+        result = simulate_changes(doc, config)
+        assert result.new_document.deep_equal(doc)
+        assert result.perfect_delta.is_empty()
+        assert all(v == 0 for v in result.counts.values())
+
+    def test_pure_deletes(self):
+        doc = small_doc(7)
+        config = SimulatorConfig(0.2, 0.0, 0.0, 0.0, seed=7)
+        result = simulate_changes(doc, config)
+        assert result.counts["deleted_subtrees"] > 0
+        assert result.counts["inserts"] == 0
+        summary = result.perfect_delta.summary()
+        assert set(summary) <= {"delete", "move"}  # no updates/inserts
+        assert "delete" in summary
+
+    def test_pure_updates(self):
+        doc = small_doc(8)
+        config = SimulatorConfig(0.0, 0.5, 0.0, 0.0, seed=8)
+        result = simulate_changes(doc, config)
+        assert result.counts["updates"] > 0
+        assert set(result.perfect_delta.summary()) == {"update"}
+
+    def test_pure_inserts(self):
+        doc = small_doc(9)
+        config = SimulatorConfig(0.0, 0.0, 0.4, 0.0, seed=9)
+        result = simulate_changes(doc, config)
+        assert result.counts["inserts"] > 0
+        assert set(result.perfect_delta.summary()) == {"insert"}
+
+    def test_root_never_deleted(self):
+        doc = small_doc(10)
+        config = SimulatorConfig(0.95, 0.0, 0.0, 0.0, seed=10)
+        result = simulate_changes(doc, config)
+        assert result.new_document.root is not None
+        assert result.new_document.root.label == doc.root.label
+
+    def test_no_adjacent_text_after_simulation(self):
+        doc = small_doc(11)
+        config = SimulatorConfig(0.1, 0.1, 0.4, 0.3, seed=11)
+        result = simulate_changes(doc, config)
+        for node in preorder(result.new_document):
+            children = node.children
+            for first, second in zip(children, children[1:]):
+                assert not (first.kind == "text" and second.kind == "text")
+
+    def test_deterministic(self):
+        doc = small_doc(12)
+        a = simulate_changes(doc, SimulatorConfig(seed=12))
+        b = simulate_changes(doc, SimulatorConfig(seed=12))
+        assert a.new_document.deep_equal(b.new_document)
+        assert a.counts == b.counts
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_changes(
+                small_doc(), SimulatorConfig(delete_probability=1.5)
+            )
+
+    def test_works_on_tiny_document(self):
+        doc = parse("<a><b>x</b></a>")
+        result = simulate_changes(doc, SimulatorConfig(seed=13))
+        replay = apply_delta(result.perfect_delta, doc, verify=True)
+        assert replay.deep_equal(result.new_document)

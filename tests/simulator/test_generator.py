@@ -1,0 +1,86 @@
+"""Tests for the synthetic document generators."""
+
+from repro.simulator import (
+    GeneratorConfig,
+    generate_catalog,
+    generate_document,
+)
+from repro.xmlkit import parse, preorder, serialize
+
+
+class TestGenerateDocument:
+    def test_deterministic(self):
+        a = generate_document(GeneratorConfig(target_nodes=150, seed=5))
+        b = generate_document(GeneratorConfig(target_nodes=150, seed=5))
+        assert a.deep_equal(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_document(GeneratorConfig(target_nodes=150, seed=5))
+        b = generate_document(GeneratorConfig(target_nodes=150, seed=6))
+        assert not a.deep_equal(b)
+
+    def test_node_count_near_target(self):
+        doc = generate_document(GeneratorConfig(target_nodes=500, seed=1))
+        count = doc.subtree_size() - 1
+        assert 450 <= count <= 520  # growth stops within one batch of target
+
+    def test_depth_bounded(self):
+        config = GeneratorConfig(target_nodes=400, max_depth=4, seed=2)
+        doc = generate_document(config)
+        for node in preorder(doc):
+            if node.kind == "element":
+                assert node.depth() <= config.max_depth + 1  # +1 for document
+
+    def test_no_adjacent_text_nodes(self):
+        doc = generate_document(GeneratorConfig(target_nodes=600, seed=3))
+        for node in preorder(doc):
+            children = node.children
+            for first, second in zip(children, children[1:]):
+                assert not (first.kind == "text" and second.kind == "text")
+
+    def test_labels_are_reused(self):
+        doc = generate_document(GeneratorConfig(target_nodes=500, seed=4))
+        labels = [n.label for n in preorder(doc) if n.kind == "element"]
+        assert len(set(labels)) < len(labels) / 4  # heavy reuse
+
+    def test_output_is_parseable(self):
+        doc = generate_document(GeneratorConfig(target_nodes=300, seed=7))
+        assert parse(serialize(doc)).deep_equal(doc)
+
+
+class TestGenerateCatalog:
+    def test_structure(self):
+        doc = generate_catalog(products=30, categories=3, seed=1)
+        assert doc.root.label == "catalog"
+        categories = doc.root.find_all("category")
+        assert len(categories) == 3
+        products = [
+            p for c in categories for p in c.find_all("product")
+        ]
+        assert len(products) == 30
+        for product in products:
+            assert product.find("name") is not None
+            assert product.find("price") is not None
+            assert "sku" in product.attributes
+
+    def test_unique_skus(self):
+        doc = generate_catalog(products=50, seed=2)
+        skus = [
+            p.attributes["sku"]
+            for c in doc.root.find_all("category")
+            for p in c.find_all("product")
+        ]
+        assert len(set(skus)) == len(skus)
+
+    def test_with_ids_declares_dtd_info(self):
+        doc = generate_catalog(products=5, seed=3, with_ids=True)
+        assert ("product", "sku") in doc.id_attributes
+
+    def test_without_ids(self):
+        doc = generate_catalog(products=5, seed=3)
+        assert doc.id_attributes == set()
+
+    def test_deterministic(self):
+        assert generate_catalog(products=20, seed=9).deep_equal(
+            generate_catalog(products=20, seed=9)
+        )

@@ -1,0 +1,84 @@
+"""Tests for the simulated web corpus and site snapshots."""
+
+from repro.simulator import (
+    WebCorpus,
+    WebCorpusConfig,
+    evolve_site,
+    generate_site_snapshot,
+    weekly_change_profile,
+)
+from repro.xmlkit import serialize_bytes
+
+import pytest
+
+
+class TestWebCorpus:
+    def test_deterministic(self):
+        corpus = WebCorpus(WebCorpusConfig(documents=3, seed=1))
+        assert corpus.generate(0).deep_equal(corpus.generate(0))
+
+    def test_document_count(self):
+        corpus = WebCorpus(WebCorpusConfig(documents=4, seed=2))
+        assert len(list(corpus.documents())) == 4
+
+    def test_index_bounds(self):
+        corpus = WebCorpus(WebCorpusConfig(documents=2))
+        with pytest.raises(IndexError):
+            corpus.generate(2)
+
+    def test_sizes_are_log_spread(self):
+        config = WebCorpusConfig(
+            documents=12, min_bytes=500, max_bytes=200_000, seed=3
+        )
+        corpus = WebCorpus(config)
+        sizes = [len(serialize_bytes(doc)) for doc in corpus.documents()]
+        # wide spread: two orders of magnitude between extremes
+        assert min(sizes) < 2_000
+        assert max(sizes) > 20_000
+        # roughly within the configured band (generator granularity aside)
+        assert min(sizes) > 100
+        assert max(sizes) < 500_000
+
+    def test_weekly_versions_chain(self):
+        corpus = WebCorpus(WebCorpusConfig(documents=2, max_bytes=20_000, seed=4))
+        versions = corpus.weekly_versions(0, weeks=3)
+        assert len(versions) == 4
+        # consecutive versions differ but share most content
+        for old, new in zip(versions, versions[1:]):
+            assert not old.deep_equal(new)
+
+    def test_weekly_change_profile_is_low_rate(self):
+        profile = weekly_change_profile()
+        assert profile.delete_probability <= 0.05
+        assert profile.update_probability <= 0.10
+
+
+class TestSiteSnapshot:
+    def test_shape(self):
+        site = generate_site_snapshot(pages=30, sections=5, seed=1)
+        assert site.root.label == "site"
+        sections = site.root.find_all("section")
+        assert len(sections) == 5
+        pages = [p for s in sections for p in s.find_all("page")]
+        assert len(pages) == 30
+        for page in pages[:5]:
+            assert page.find("url") is not None
+            assert page.find("title") is not None
+
+    def test_size_scales_with_pages(self):
+        small = len(serialize_bytes(generate_site_snapshot(pages=50, seed=2)))
+        large = len(serialize_bytes(generate_site_snapshot(pages=200, seed=2)))
+        assert large > 3 * small
+
+    def test_inria_scale_extrapolation(self):
+        # ~14k pages should serialize to megabytes; verify the per-page
+        # byte rate implies >= 3 MB without generating the whole thing.
+        site = generate_site_snapshot(pages=500, seed=3)
+        per_page = len(serialize_bytes(site)) / 500
+        assert per_page * 14_000 > 3_000_000
+
+    def test_evolve_site_changes_content(self):
+        site = generate_site_snapshot(pages=40, seed=4)
+        evolved = evolve_site(site, seed=5)
+        assert not evolved.deep_equal(site)
+        assert evolved.root.label == "site"

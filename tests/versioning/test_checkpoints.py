@@ -1,0 +1,119 @@
+"""Tests for snapshot checkpointing in the version store."""
+
+import pytest
+
+from repro.versioning import DirectoryRepository, MemoryRepository, VersionStore
+from repro.xmlkit import parse
+
+
+def versions(count):
+    return [f"<d><v>{i}</v><pad>some padding text</pad></d>" for i in range(count)]
+
+
+@pytest.fixture(params=["memory", "directory"])
+def repository(request, tmp_path):
+    if request.param == "memory":
+        return MemoryRepository()
+    return DirectoryRepository(tmp_path / "repo")
+
+
+class TestCheckpointing:
+    def test_checkpoints_created_on_schedule(self, repository):
+        store = VersionStore(repository, checkpoint_every=3)
+        texts = versions(10)
+        store.create("d", parse(texts[0]))
+        for text in texts[1:]:
+            store.commit("d", parse(text))
+        assert repository.snapshot_versions("d") == [3, 6, 9]
+
+    def test_every_version_still_reconstructs(self, repository):
+        store = VersionStore(repository, checkpoint_every=3)
+        texts = versions(10)
+        store.create("d", parse(texts[0]))
+        for text in texts[1:]:
+            store.commit("d", parse(text))
+        for number, text in enumerate(texts, start=1):
+            assert store.get_version("d", number).deep_equal(parse(text)), (
+                f"version {number}"
+            )
+
+    def test_checkpoint_xids_match_chain_reconstruction(self, repository):
+        from repro.core import xid_index
+
+        store = VersionStore(repository, checkpoint_every=2)
+        texts = versions(6)
+        store.create("d", parse(texts[0]))
+        for text in texts[1:]:
+            store.commit("d", parse(text))
+        # reconstruct version 4 via the checkpoint and via the full chain
+        via_checkpoint = store.get_version("d", 4)
+        # force chain reconstruction by walking backward from current
+        current = store.get_current("d")
+        from repro.core import apply_backward
+
+        document = current
+        for base in range(store.current_version("d") - 1, 3, -1):
+            document = apply_backward(
+                store.delta("d", base), document, in_place=True
+            )
+        assert via_checkpoint.deep_equal(document)
+        assert {
+            xid for xid in xid_index(via_checkpoint)
+        } == {xid for xid in xid_index(document)}
+
+    def test_no_checkpoints_by_default(self, repository):
+        store = VersionStore(repository)
+        texts = versions(5)
+        store.create("d", parse(texts[0]))
+        for text in texts[1:]:
+            store.commit("d", parse(text))
+        assert repository.snapshot_versions("d") == []
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            VersionStore(checkpoint_every=0)
+
+    def test_changes_between_still_exact(self, repository):
+        from repro.core import apply_delta
+
+        store = VersionStore(repository, checkpoint_every=2)
+        texts = versions(7)
+        store.create("d", parse(texts[0]))
+        for text in texts[1:]:
+            store.commit("d", parse(text))
+        combined = store.changes_between("d", 2, 6)
+        v2 = store.get_version("d", 2)
+        v6 = store.get_version("d", 6)
+        assert apply_delta(combined, v2, verify=True).deep_equal(v6)
+
+    def test_directory_snapshot_files_exist(self, tmp_path):
+        repository = DirectoryRepository(tmp_path / "repo")
+        store = VersionStore(repository, checkpoint_every=2)
+        texts = versions(4)
+        store.create("d", parse(texts[0]))
+        for text in texts[1:]:
+            store.commit("d", parse(text))
+        assert (tmp_path / "repo" / "d" / "snapshot-0002.xml").exists()
+        assert (tmp_path / "repo" / "d" / "snapshot-0004.xml").exists()
+
+    def test_reconstruction_walk_is_shorter_with_checkpoints(self, repository):
+        """Behavioural check: asking for a version right below a
+        checkpoint must not touch earlier deltas."""
+        store = VersionStore(repository, checkpoint_every=5)
+        texts = versions(12)
+        store.create("d", parse(texts[0]))
+        for text in texts[1:]:
+            store.commit("d", parse(text))
+
+        touched = []
+        original = store.repository.load_delta
+
+        def tracking_load(doc_id, base):
+            touched.append(base)
+            return original(doc_id, base)
+
+        store.repository.load_delta = tracking_load
+        store.get_version("d", 9)
+        store.repository.load_delta = original
+        # nearest checkpoint above 9 is 10: only delta 9 should be replayed
+        assert touched == [9]

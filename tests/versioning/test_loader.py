@@ -1,0 +1,123 @@
+"""Tests for the warehouse loader pipeline (Figure 1)."""
+
+import pytest
+
+from repro.simulator import SimulatorConfig, generate_catalog, simulate_changes
+from repro.versioning import (
+    Alerter,
+    ChangeStatistics,
+    DirectoryRepository,
+    Subscription,
+    TextIndex,
+)
+from repro.versioning.loader import WarehouseLoader
+from repro.xmlkit import parse
+
+
+def full_loader(repository=None):
+    alerter = Alerter()
+    alerter.register(Subscription("products", "//product"))
+    return WarehouseLoader(
+        repository=repository,
+        alerter=alerter,
+        index=TextIndex(),
+        statistics=ChangeStatistics(),
+    )
+
+
+class TestLoading:
+    def test_first_load_returns_none(self):
+        loader = full_loader()
+        result = loader.load("d", parse("<catalog/>"))
+        assert result is None
+        assert loader.stats.documents == 1
+        assert loader.stats.versions == 1
+
+    def test_revisit_returns_delta(self):
+        loader = full_loader()
+        loader.load("d", parse("<catalog><a>one</a></catalog>"))
+        delta = loader.load("d", parse("<catalog><a>two</a></catalog>"))
+        assert delta is not None
+        assert delta.summary() == {"update": 1}
+        assert loader.stats.versions == 2
+        assert loader.stats.documents == 1
+
+    def test_versions_reconstruct(self):
+        loader = full_loader()
+        versions = [
+            "<c><p>1</p></c>",
+            "<c><p>2</p></c>",
+            "<c><p>2</p><q>3</q></c>",
+        ]
+        for text in versions:
+            loader.load("d", parse(text))
+        for number, text in enumerate(versions, start=1):
+            assert loader.store.get_version("d", number).deep_equal(
+                parse(text)
+            )
+
+    def test_alerts_flow(self):
+        loader = full_loader()
+        loader.load("d", parse("<catalog/>"))
+        loader.load(
+            "d", parse("<catalog><product><name>n</name></product></catalog>")
+        )
+        assert loader.stats.alerts == 1
+        assert loader.recent_alerts[0].subscription == "products"
+
+    def test_index_stays_consistent(self):
+        loader = full_loader()
+        loader.load("d", parse("<c><t>first words</t></c>"))
+        loader.load("d", parse("<c><t>second words</t></c>"))
+        assert len(loader.index.search("second")) == 1
+        assert loader.index.search("first") == set()
+        fresh = TextIndex()
+        fresh.index_document("d", loader.store.get_current("d"))
+        assert loader.index._postings == fresh._postings
+
+    def test_statistics_accumulate(self):
+        loader = full_loader()
+        loader.load("d", parse("<c><price>$1</price></c>"))
+        loader.load("d", parse("<c><price>$2</price></c>"))
+        assert loader.statistics.count("/c/price/#text", "update") == 1
+
+    def test_timers_populated(self):
+        loader = full_loader()
+        loader.load("d", parse("<c><t>words</t></c>"))
+        loader.load("d", parse("<c><t>more words</t></c>"))
+        assert loader.stats.diff_seconds > 0
+        assert loader.stats.index_seconds > 0
+        assert loader.stats.store_seconds > 0
+        assert loader.stats.delta_bytes > 0
+
+    def test_directory_backed(self, tmp_path):
+        loader = full_loader(DirectoryRepository(tmp_path / "wh"))
+        loader.load("d", parse("<c><t>v1 content</t></c>"))
+        loader.load("d", parse("<c><t>v2 content</t></c>"))
+        assert (tmp_path / "wh").exists()
+        assert loader.store.verify_integrity("d")
+
+    def test_minimal_loader_without_consumers(self):
+        loader = WarehouseLoader()
+        loader.load("d", parse("<c><t>a</t></c>"))
+        delta = loader.load("d", parse("<c><t>b</t></c>"))
+        assert delta is not None
+        assert loader.stats.alerts == 0
+        assert loader.stats.index_seconds == 0.0
+
+
+class TestCrawlSimulation:
+    def test_weekly_crawl_round(self):
+        loader = full_loader()
+        catalog = generate_catalog(products=20, categories=3, seed=5)
+        loader.load("shop", catalog)
+        current = catalog
+        for week in range(3):
+            current = simulate_changes(
+                current, SimulatorConfig(0.03, 0.1, 0.05, 0.02, seed=week)
+            ).new_document
+            loader.load("shop", current)
+        assert loader.stats.versions == 4
+        assert loader.store.verify_integrity("shop")
+        ratio = loader.stats.diff_vs_index_ratio
+        assert ratio > 0  # both stages actually ran

@@ -1,0 +1,94 @@
+"""Corruption and misuse handling in the directory repository."""
+
+import json
+
+import pytest
+
+from repro.core import assign_initial_xids
+from repro.versioning import DirectoryRepository
+from repro.xmlkit import RepositoryError, parse
+
+
+def make_repo(tmp_path):
+    repo = DirectoryRepository(tmp_path / "store")
+    doc = parse("<a><b>x</b></a>")
+    allocator = assign_initial_xids(doc)
+    repo.create("d1", doc, allocator)
+    return repo
+
+
+class TestCorruption:
+    def test_corrupt_meta_json(self, tmp_path):
+        repo = make_repo(tmp_path)
+        meta_path = tmp_path / "store" / "d1" / "meta.json"
+        meta_path.write_text("{not json")
+        with pytest.raises(RepositoryError):
+            repo.load_current("d1")
+
+    def test_xid_labels_length_mismatch(self, tmp_path):
+        repo = make_repo(tmp_path)
+        meta_path = tmp_path / "store" / "d1" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["xid_labels"] = [1]  # wrong length
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(RepositoryError):
+            repo.load_current("d1")
+
+    def test_missing_xid_labels_falls_back_to_postorder(self, tmp_path):
+        repo = make_repo(tmp_path)
+        meta_path = tmp_path / "store" / "d1" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        del meta["xid_labels"]
+        meta_path.write_text(json.dumps(meta))
+        loaded = repo.load_current("d1")
+        assert loaded.root.xid is not None  # postorder fallback
+
+    def test_unlabelled_snapshot_rejected_on_store(self, tmp_path):
+        repo = DirectoryRepository(tmp_path / "store")
+        doc = parse("<a/>")  # no XIDs
+        from repro.core import XidAllocator
+
+        with pytest.raises(RepositoryError):
+            repo.create("d1", doc, XidAllocator())
+
+    def test_load_missing_delta(self, tmp_path):
+        repo = make_repo(tmp_path)
+        with pytest.raises(RepositoryError):
+            repo.load_delta("d1", 7)
+
+
+class TestErrorsHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro.xmlkit.errors import (
+            ApplyError,
+            DeltaError,
+            DtdError,
+            PathError,
+            ReproError,
+            RepositoryError,
+            XmlParseError,
+            XmlSerializeError,
+        )
+
+        for error_type in (
+            ApplyError,
+            DeltaError,
+            DtdError,
+            PathError,
+            RepositoryError,
+            XmlParseError,
+            XmlSerializeError,
+        ):
+            assert issubclass(error_type, ReproError)
+        # ApplyError is a DeltaError (a delta that does not fit)
+        assert issubclass(ApplyError, DeltaError)
+
+    def test_parse_error_location_formatting(self):
+        from repro.xmlkit.errors import XmlParseError
+
+        error = XmlParseError("boom", line=3, column=14)
+        assert "line 3" in str(error)
+        assert "column 14" in str(error)
+        assert XmlParseError("x").line is None
+        bare = XmlParseError("just line", line=9)
+        assert "line 9" in str(bare)

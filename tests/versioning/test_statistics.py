@@ -1,0 +1,159 @@
+"""Tests for change statistics (the 'learning features')."""
+
+from repro.core import diff
+from repro.versioning.statistics import ChangeStatistics
+from repro.xmlkit import parse
+
+
+def observe_pair(stats, old_text, new_text):
+    old = parse(old_text)
+    new = parse(new_text)
+    delta = diff(old, new)
+    stats.observe(delta, old, new)
+    return delta
+
+
+class TestAccumulation:
+    def test_update_counted_at_path(self):
+        stats = ChangeStatistics()
+        observe_pair(
+            stats,
+            "<shop><item><price>$1</price><name>stable thing</name></item></shop>",
+            "<shop><item><price>$2</price><name>stable thing</name></item></shop>",
+        )
+        assert stats.count("/shop/item/price/#text", "update") == 1
+        assert stats.count("/shop/item/name/#text", "update") == 0
+
+    def test_insert_counts_whole_payload(self):
+        stats = ChangeStatistics()
+        observe_pair(
+            stats,
+            "<shop/>",
+            "<shop><item><price>$1</price></item></shop>",
+        )
+        assert stats.count("/shop/item", "insert") == 1
+        assert stats.count("/shop/item/price", "insert") == 1
+        assert stats.count("/shop/item/price/#text", "insert") == 1
+
+    def test_delete_uses_old_paths(self):
+        stats = ChangeStatistics()
+        observe_pair(
+            stats,
+            "<shop><old><tag>x</tag></old><keep>kk</keep></shop>",
+            "<shop><keep>kk</keep></shop>",
+        )
+        assert stats.count("/shop/old", "delete") == 1
+        assert stats.count("/shop/old/tag", "delete") == 1
+
+    def test_move_counted(self):
+        stats = ChangeStatistics()
+        observe_pair(
+            stats,
+            "<r><a><thing><deep>payload data</deep></thing></a><b/></r>",
+            "<r><a/><b><thing><deep>payload data</deep></thing></b></r>",
+        )
+        assert stats.count("/r/b/thing", "move") == 1
+
+    def test_attribute_ops_counted(self):
+        stats = ChangeStatistics()
+        observe_pair(
+            stats,
+            "<r><a k='1'>text here</a></r>",
+            "<r><a k='2'>text here</a></r>",
+        )
+        assert stats.count("/r/a", "attr") == 1
+
+    def test_totals(self):
+        stats = ChangeStatistics()
+        observe_pair(
+            stats,
+            "<r><a>one</a><b>two</b></r>",
+            "<r><a>ONE</a><c>three</c></r>",
+        )
+        totals = stats.kind_totals()
+        assert totals["update"] == 1
+        assert totals["insert"] >= 1
+        assert totals["delete"] >= 1
+        assert stats.deltas_observed == 1
+
+
+class TestRatesAndRanking:
+    def price_heavy_stats(self):
+        """Three versions where prices churn and descriptions do not."""
+        stats = ChangeStatistics()
+        versions = [
+            "<shop><item><price>$1</price><desc>same words here</desc></item>"
+            "<item><price>$7</price><desc>other words here</desc></item></shop>",
+            "<shop><item><price>$2</price><desc>same words here</desc></item>"
+            "<item><price>$8</price><desc>other words here</desc></item></shop>",
+            "<shop><item><price>$3</price><desc>same words here</desc></item>"
+            "<item><price>$9</price><desc>other words here</desc></item></shop>",
+        ]
+        for old_text, new_text in zip(versions, versions[1:]):
+            observe_pair(stats, old_text, new_text)
+        return stats
+
+    def test_price_more_volatile_than_description(self):
+        stats = self.price_heavy_stats()
+        price_rate = stats.change_rate("/shop/item/price/#text", "update")
+        desc_rate = stats.change_rate("/shop/item/desc/#text", "update")
+        assert price_rate > desc_rate
+        assert desc_rate == 0.0
+
+    def test_most_volatile_ranks_price_first(self):
+        stats = self.price_heavy_stats()
+        ranking = stats.most_volatile("update", top=3)
+        assert ranking
+        assert ranking[0][0] == "/shop/item/price/#text"
+
+    def test_change_rate_of_unseen_path(self):
+        stats = ChangeStatistics()
+        assert stats.change_rate("/nowhere") == 0.0
+
+    def test_suggested_profile_mirrors_mix(self):
+        stats = self.price_heavy_stats()
+        profile = stats.suggested_profile()
+        assert profile.update_probability > 0
+        assert profile.delete_probability == 0.0
+        assert profile.move_probability == 0.0
+
+    def test_suggested_profile_empty_stats(self):
+        profile = ChangeStatistics().suggested_profile()
+        assert profile.update_probability == 0.0
+
+    def test_profile_feeds_simulator(self):
+        """The calibration loop: observed stats parameterize the simulator."""
+        from repro.simulator import (
+            GeneratorConfig,
+            generate_document,
+            simulate_changes,
+        )
+
+        stats = self.price_heavy_stats()
+        profile = stats.suggested_profile()
+        profile.seed = 3
+        doc = generate_document(GeneratorConfig(target_nodes=60, seed=9))
+        result = simulate_changes(doc, profile)
+        # pure-update profile produces only updates
+        assert set(result.perfect_delta.summary()) <= {"update"}
+
+
+class TestStoreIntegration:
+    def test_on_commit_hook(self):
+        from repro.versioning import VersionStore
+
+        stats = ChangeStatistics()
+        history = {}
+
+        def on_commit(doc_id, delta, new_document):
+            stats.observe(delta, history[doc_id], new_document)
+            history[doc_id] = new_document.clone()
+
+        store = VersionStore(on_commit=on_commit)
+        v1 = parse("<r><price>$1</price><name>same name</name></r>")
+        store.create("d", v1)
+        history["d"] = store.get_current("d")
+        store.commit("d", parse("<r><price>$2</price><name>same name</name></r>"))
+        store.commit("d", parse("<r><price>$3</price><name>same name</name></r>"))
+        assert stats.count("/r/price/#text", "update") == 2
+        assert stats.deltas_observed == 2

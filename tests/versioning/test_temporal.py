@@ -1,0 +1,113 @@
+"""Tests for temporal queries over a version store."""
+
+import pytest
+
+from repro.versioning import TemporalQueries, VersionStore
+from repro.xmlkit import parse
+
+
+@pytest.fixture
+def store():
+    store = VersionStore()
+    store.create(
+        "cat",
+        parse(
+            "<catalog><product><name>alpha</name><price>$10</price>"
+            "</product></catalog>"
+        ),
+    )
+    store.commit(
+        "cat",
+        parse(
+            "<catalog><product><name>alpha</name><price>$12</price>"
+            "</product><product><name>beta</name><price>$5</price>"
+            "</product></catalog>"
+        ),
+    )
+    store.commit(
+        "cat",
+        parse(
+            "<catalog><product><name>beta</name><price>$5</price>"
+            "</product></catalog>"
+        ),
+    )
+    return store
+
+
+@pytest.fixture
+def queries(store):
+    return TemporalQueries(store)
+
+
+def price_text_xid(store, version, index=0):
+    doc = store.get_version("cat", version)
+    product = doc.root.find_all("product")[index]
+    return product.find("price").children[0].xid
+
+
+class TestValueAt:
+    def test_value_changes_over_time(self, store, queries):
+        xid = price_text_xid(store, 1)
+        assert queries.value_at("cat", xid, 1) == "$10"
+        assert queries.value_at("cat", xid, 2) == "$12"
+
+    def test_absent_after_deletion(self, store, queries):
+        xid = price_text_xid(store, 1)
+        assert queries.value_at("cat", xid, 3) is None
+
+    def test_element_value_is_text_content(self, store, queries):
+        doc = store.get_version("cat", 1)
+        product_xid = doc.root.find("product").xid
+        assert queries.value_at("cat", product_xid, 1) == "alpha$10"
+
+    def test_node_at_and_path(self, store, queries):
+        xid = price_text_xid(store, 1)
+        assert queries.node_at("cat", xid, 1) is not None
+        path = queries.path_at("cat", xid, 1)
+        assert path.endswith("/price/text()")
+        assert queries.path_at("cat", xid, 3) is None
+
+
+class TestHistory:
+    def test_update_event_recorded(self, store, queries):
+        xid = price_text_xid(store, 1)
+        history = queries.history_of("cat", xid)
+        kinds = [event.kind for event in history.events]
+        assert "update" in kinds
+        update = next(e for e in history.events if e.kind == "update")
+        assert "$10" in update.detail and "$12" in update.detail
+
+    def test_lifecycle_of_inserted_then_deleted(self, store, queries):
+        # the first product is deleted in version 3
+        xid = price_text_xid(store, 1)
+        history = queries.history_of("cat", xid)
+        assert history.died_in == 3
+
+    def test_born_in(self, store, queries):
+        # beta product appears in version 2
+        doc2 = store.get_version("cat", 2)
+        beta = doc2.root.find_all("product")[1]
+        history = queries.history_of("cat", beta.xid)
+        assert history.born_in == 2
+
+
+class TestFindAndDiffQueries:
+    def test_find_at_version(self, store, queries):
+        hits1 = queries.find_at("cat", "//product/name", 1)
+        assert [text for _, text in hits1] == ["alpha"]
+        hits2 = queries.find_at("cat", "//product/name", 2)
+        assert sorted(text for _, text in hits2) == ["alpha", "beta"]
+
+    def test_inserted_between(self, store, queries):
+        inserted = queries.inserted_between("cat", 1, 2)
+        assert len(inserted) == 1  # the beta product subtree
+
+    def test_deleted_between_net_effect(self, store, queries):
+        # across 1 -> 3 the alpha product vanished; beta was added
+        deleted = queries.deleted_between("cat", 1, 3)
+        assert len(deleted) == 1
+
+    def test_insert_then_delete_cancels(self, store, queries):
+        # nothing inserted in 1->2 survives... beta does; but a net query
+        # from 2 -> 2 is empty
+        assert queries.inserted_between("cat", 2, 2) == []

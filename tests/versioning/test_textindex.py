@@ -1,0 +1,134 @@
+"""Tests for the delta-maintained full-text index."""
+
+from repro.core import diff
+from repro.versioning import TextIndex, VersionStore
+from repro.xmlkit import parse
+
+
+def make_index(text, doc_id="d"):
+    doc = parse(text)
+    from repro.core import assign_initial_xids
+
+    assign_initial_xids(doc)
+    index = TextIndex()
+    index.index_document(doc_id, doc)
+    return doc, index
+
+
+class TestBulkIndexing:
+    def test_words_searchable(self):
+        doc, index = make_index("<a><b>hello world</b><c>hello again</c></a>")
+        assert len(index.search("hello")) == 2
+        assert len(index.search("world")) == 1
+        assert index.search("absent") == set()
+
+    def test_case_insensitive(self):
+        _, index = make_index("<a>Hello WORLD</a>")
+        assert len(index.search("hello")) == 1
+        assert len(index.search("World")) == 1
+
+    def test_search_all_conjunction(self):
+        doc, index = make_index("<a><b>red fox</b><c>red wolf</c></a>")
+        assert len(index.search_all(["red"])) == 2
+        assert len(index.search_all(["red", "fox"])) == 1
+        assert index.search_all(["red", "absent"]) == set()
+
+    def test_reindex_replaces(self):
+        doc, index = make_index("<a>old words</a>")
+        doc.root.children[0].value = "new words"
+        index.index_document("d", doc)
+        assert index.search("old") == set()
+        assert len(index.search("new")) == 1
+
+    def test_remove_document(self):
+        doc, index = make_index("<a>something</a>")
+        index.remove_document("d")
+        assert index.search("something") == set()
+        assert index.word_count() == 0
+
+
+class TestIncrementalMaintenance:
+    def roundtrip(self, old_text, new_text):
+        """Update incrementally and compare with a full reindex."""
+        old = parse(old_text)
+        new = parse(new_text)
+        delta = diff(old, new)
+
+        incremental = TextIndex()
+        incremental.index_document("d", old)
+        incremental.update_from_delta("d", delta)
+
+        fresh = TextIndex()
+        fresh.index_document("d", new)
+        return incremental, fresh
+
+    def assert_equivalent(self, incremental, fresh):
+        assert incremental._postings == fresh._postings
+
+    def test_insert_maintenance(self):
+        self.assert_equivalent(
+            *self.roundtrip(
+                "<a><b>one two</b></a>",
+                "<a><b>one two</b><c>three four</c></a>",
+            )
+        )
+
+    def test_delete_maintenance(self):
+        self.assert_equivalent(
+            *self.roundtrip(
+                "<a><b>one two</b><c>three four</c></a>",
+                "<a><b>one two</b></a>",
+            )
+        )
+
+    def test_update_maintenance(self):
+        self.assert_equivalent(
+            *self.roundtrip(
+                "<a><b>alpha beta</b></a>",
+                "<a><b>alpha gamma</b></a>",
+            )
+        )
+
+    def test_move_requires_no_index_work(self):
+        old = parse("<a><b><t>words here</t></b><c/></a>")
+        new = parse("<a><b/><c><t>words here</t></c></a>")
+        delta = diff(old, new)
+        index = TextIndex()
+        index.index_document("d", old)
+        touched = index.update_from_delta("d", delta)
+        assert touched == 0  # pure move: postings untouched
+        assert len(index.search("words")) == 1
+
+    def test_touched_counts(self):
+        old = parse("<a><b>one</b></a>")
+        new = parse("<a><b>two</b><c>three</c></a>")
+        delta = diff(old, new)
+        index = TextIndex()
+        index.index_document("d", old)
+        touched = index.update_from_delta("d", delta)
+        assert touched == 2  # one update + one inserted text node
+
+
+class TestStructuralSearch:
+    def test_search_under(self):
+        doc, index = make_index(
+            "<shop><item><name>red lamp</name></item>"
+            "<note>red warning</note></shop>"
+        )
+        hits = index.search_under("red", "//item/name/#text", "d", doc)
+        assert len(hits) == 1
+        all_hits = index.search("red")
+        assert len(all_hits) == 2
+
+    def test_store_integration(self):
+        index = TextIndex()
+        store = VersionStore(
+            on_commit=lambda doc_id, delta, new: index.update_from_delta(
+                doc_id, delta
+            )
+        )
+        store.create("d", parse("<a><b>first words</b></a>"))
+        index.index_document("d", store.get_current("d"))
+        store.commit("d", parse("<a><b>first words</b><c>more text</c></a>"))
+        assert len(index.search("more")) == 1
+        assert len(index.search("first")) == 1

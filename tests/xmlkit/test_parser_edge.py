@@ -1,0 +1,112 @@
+"""Parser edge cases: namespacey names, DTD plumbing, hostile inputs."""
+
+import pytest
+
+from repro.xmlkit import (
+    XmlParseError,
+    parse,
+    parse_dtd,
+    parse_file,
+    serialize,
+)
+
+
+class TestNamespaceLikeNames:
+    """The model treats prefixed names literally (no namespace processing),
+    like the paper's system — these tests pin that behaviour down."""
+
+    def test_prefixed_elements_roundtrip(self):
+        doc = parse("<x:root xmlns:x='urn:x'><x:item>v</x:item></x:root>")
+        assert doc.root.label == "x:root"
+        assert doc.root.attributes["xmlns:x"] == "urn:x"
+        assert parse(serialize(doc)).deep_equal(doc)
+
+    def test_prefixed_attributes(self):
+        doc = parse("<a xml:lang='en' y:k='1' xmlns:y='urn:y'/>")
+        assert doc.root.attributes["xml:lang"] == "en"
+        assert doc.root.attributes["y:k"] == "1"
+
+    def test_diff_treats_prefixes_literally(self):
+        from repro.core import diff
+
+        old = parse("<r xmlns:a='urn:a'><a:x>one</a:x></r>")
+        new = parse("<r xmlns:a='urn:a'><a:x>two</a:x></r>")
+        delta = diff(old, new)
+        assert delta.summary() == {"update": 1}
+
+
+class TestDtdPlumbing:
+    def test_external_dtd_argument(self):
+        dtd = parse_dtd("<!ATTLIST product sku ID #REQUIRED>")
+        doc = parse("<catalog><product sku='1'/></catalog>", dtd=dtd)
+        assert ("product", "sku") in doc.id_attributes
+
+    def test_external_dtd_sets_doctype_name(self):
+        dtd = parse_dtd("<!ELEMENT catalog (product*)>", root_name="catalog")
+        doc = parse("<catalog/>", dtd=dtd)
+        assert doc.doctype_name == "catalog"
+
+    def test_internal_and_external_merge(self):
+        dtd = parse_dtd("<!ATTLIST b k ID #REQUIRED>")
+        doc = parse(
+            "<!DOCTYPE a [<!ATTLIST a n ID #REQUIRED>]>"
+            "<a n='x'><b k='y'/></a>",
+            dtd=dtd,
+        )
+        assert ("a", "n") in doc.id_attributes
+        assert ("b", "k") in doc.id_attributes
+
+    def test_parse_file_with_dtd(self, tmp_path):
+        source = tmp_path / "doc.xml"
+        source.write_text("<c><p i='1'/></c>")
+        dtd = parse_dtd("<!ATTLIST p i ID #REQUIRED>")
+        doc = parse_file(source, dtd=dtd)
+        assert ("p", "i") in doc.id_attributes
+
+
+class TestHostileInputs:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a><b></a></b>",  # crossed tags
+            "<a",  # truncated
+            "text only",  # no element
+            "<a/><b/>",  # two roots
+            "<a>&undefined;</a>",  # unknown entity
+            "<a \x01='x'/>",  # control char
+        ],
+    )
+    def test_rejected_cleanly(self, bad):
+        with pytest.raises(XmlParseError):
+            parse(bad)
+
+    def test_billion_laughs_is_bounded(self):
+        # expat limits entity expansion; a modest bomb parses or errors,
+        # but must not hang or exhaust memory
+        bomb = (
+            "<!DOCTYPE a [<!ENTITY x0 'ha'>"
+            + "".join(
+                f"<!ENTITY x{i} '&x{i-1};&x{i-1};'>" for i in range(1, 10)
+            )
+            + "]><a>&x9;</a>"
+        )
+        try:
+            doc = parse(bomb)
+            assert len(doc.root.text_content()) == 2**9 * 2
+        except XmlParseError:
+            pass  # also acceptable: the parser refused
+
+    def test_very_deep_nesting(self):
+        depth = 600
+        text = "<a>" * depth + "x" + "</a>" * depth
+        doc = parse(text)
+        assert doc.subtree_size() == depth + 2
+
+    def test_huge_attribute(self):
+        value = "v" * 100_000
+        doc = parse(f"<a k='{value}'/>")
+        assert doc.root.attributes["k"] == value
+
+    def test_utf8_bom(self):
+        doc = parse(b"\xef\xbb\xbf<a>x</a>")
+        assert doc.root.label == "a"

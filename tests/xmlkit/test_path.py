@@ -1,0 +1,127 @@
+"""Tests for node paths and label patterns."""
+
+import pytest
+
+from repro.xmlkit import (
+    LabelPattern,
+    PathError,
+    find_all,
+    label_path_of,
+    node_at_path,
+    parse,
+    path_of,
+)
+
+
+DOC = parse(
+    "<catalog>"
+    "<category><title>Cameras</title>"
+    "<product><name>A</name><price>1</price></product>"
+    "<product><name>B</name><price>2</price></product>"
+    "</category>"
+    "<category><title>Phones</title></category>"
+    "</catalog>"
+)
+
+
+class TestPathOf:
+    def test_root(self):
+        assert path_of(DOC.root) == "/catalog"
+        assert path_of(DOC) == "/"
+
+    def test_indexed_siblings(self):
+        second_product = DOC.root.children[0].children[2]
+        assert path_of(second_product) == "/catalog/category[1]/product[2]"
+
+    def test_unique_child_has_no_index(self):
+        title = DOC.root.children[0].children[0]
+        assert path_of(title) == "/catalog/category[1]/title"
+
+    def test_text_node(self):
+        text = DOC.root.children[0].children[0].children[0]
+        assert path_of(text) == "/catalog/category[1]/title/text()"
+
+    def test_detached_raises(self):
+        from repro.xmlkit import Element
+
+        with pytest.raises(PathError):
+            path_of(Element("loose").append(Element("inner")))
+
+
+class TestNodeAtPath:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "/catalog",
+            "/catalog/category[1]/product[2]",
+            "/catalog/category[2]/title",
+            "/catalog/category[1]/title/text()",
+            "/",
+        ],
+    )
+    def test_roundtrip(self, path):
+        node = node_at_path(DOC, path)
+        assert path_of(node) == path
+
+    def test_every_node_roundtrips(self):
+        from repro.xmlkit import preorder
+
+        for node in preorder(DOC):
+            assert node_at_path(DOC, path_of(node)) is node
+
+    def test_unresolvable(self):
+        with pytest.raises(PathError):
+            node_at_path(DOC, "/catalog/missing")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(PathError):
+            node_at_path(DOC, "/catalog/category[9]")
+
+    def test_relative_rejected(self):
+        with pytest.raises(PathError):
+            node_at_path(DOC, "catalog")
+
+    def test_malformed_step(self):
+        with pytest.raises(PathError):
+            node_at_path(DOC, "/catalog/cat[x]")
+
+
+class TestLabelPattern:
+    def test_label_path_of(self):
+        product = DOC.root.children[0].children[1]
+        assert label_path_of(product) == "/catalog/category/product"
+        text = DOC.root.children[0].children[0].children[0]
+        assert label_path_of(text) == "/catalog/category/title/#text"
+
+    @pytest.mark.parametrize(
+        "pattern,path,expected",
+        [
+            ("/catalog/category/product", "/catalog/category/product", True),
+            ("/catalog/product", "/catalog/category/product", False),
+            ("/catalog//product", "/catalog/category/product", True),
+            ("//price", "/catalog/category/product/price", True),
+            ("/*/category", "/catalog/category", True),
+            ("/*/product", "/catalog/category/product", False),
+            ("product/name", "/catalog/category/product/name", True),
+            ("/catalog//", "/catalog/category", True),
+            ("/catalog", "/catalog", True),
+            ("/catalog", "/catalogue", False),
+        ],
+    )
+    def test_matching(self, pattern, path, expected):
+        assert LabelPattern(pattern).matches(path) is expected
+
+    def test_matches_node(self):
+        pattern = LabelPattern("//name")
+        name = DOC.root.children[0].children[1].children[0]
+        assert pattern.matches_node(name)
+
+    def test_special_characters_escaped(self):
+        assert LabelPattern("/a.b").matches("/a.b")
+        assert not LabelPattern("/a.b").matches("/aXb")
+
+    def test_find_all(self):
+        products = find_all(DOC, "//product")
+        assert len(products) == 2
+        names = find_all(DOC, "/catalog/category/product/name")
+        assert [n.children[0].value for n in names] == ["A", "B"]
