@@ -8,6 +8,7 @@ and measures its effect on speed and/or delta quality:
 - the log text weight vs flat weights;
 - lazy-down vs eager-down propagation;
 - number of Phase 4 optimization passes;
+- whole pipeline stages dropped via the engine's ``skip_stages`` knob;
 - incremental index maintenance vs full reindex (the Section 2 indexing
   motivation).
 """
@@ -125,6 +126,43 @@ class TestOptimizationPasses:
         benchmark.extra_info["passes0_bytes"] = delta_byte_size(none)
         benchmark.extra_info["passes2_bytes"] = delta_byte_size(two)
         assert delta_byte_size(two) <= delta_byte_size(none) * 1.1
+
+
+class TestStageAblations:
+    """Drop whole pipeline stages through ``DiffContext.skip_stages``.
+
+    Coarser than the config knobs above: instead of tuning a stage, remove
+    it.  Skipping ``propagate`` (phase 4) leaves only exact-subtree and ID
+    matches — the delta inflates but the run still round-trips, which is
+    the point of required-vs-optional stages in the engine pipeline.
+    """
+
+    @pytest.mark.parametrize(
+        "skip",
+        [
+            frozenset(),
+            frozenset({"id-attributes"}),
+            frozenset({"propagate"}),
+            frozenset({"id-attributes", "match-subtrees", "propagate"}),
+        ],
+        ids=["full", "no-ids", "no-propagate", "annotate-only"],
+    )
+    def test_skip_stages(self, benchmark, skip):
+        from repro.engine import DiffContext, get_engine
+
+        old, new = diff_pair(2_000, doc_seed=61, sim_seed=62)
+        engine = get_engine("buld")
+
+        def run():
+            return engine.diff(
+                old.clone(keep_xids=False),
+                new.clone(keep_xids=False),
+                context=DiffContext(skip_stages=skip),
+            )
+
+        delta = benchmark(run)
+        benchmark.extra_info["skipped"] = sorted(skip)
+        benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
 
 
 class TestIncrementalIndexing:

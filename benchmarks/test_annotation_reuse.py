@@ -1,0 +1,82 @@
+"""STORE — annotation reuse in the version-store commit loop.
+
+The crawler scenario of Section 2: the store re-reads a document's
+current version on every revisit and diffs the new crawl against it.
+Without caching, BULD re-hashes the *unchanged* stored version every
+commit (phase 2 is the expensive part of the run).  The
+:class:`~repro.engine.annotations.AnnotationStore` lets commit ``i``
+reuse the signatures/weights computed for the same content during commit
+``i-1`` — the version store keys the stored snapshot by its
+``(doc_id, version)`` identity, skipping even the content-hash walk.
+
+Two guarantees under benchmark:
+
+- the cached commit loop is faster than the uncached one;
+- caching changes *nothing* about the output — the delta chains are
+  byte-identical (asserted here, and again in the regression tests).
+"""
+
+import functools
+
+import pytest
+
+from benchmarks.workloads import scenario
+from repro.core import serialize_delta
+from repro.simulator import SimulatorConfig, simulate_changes
+from repro.versioning import MemoryRepository, VersionStore
+
+COMMITS = 10
+NODES = 2_000
+
+
+@functools.lru_cache(maxsize=None)
+def commit_chain(nodes: int = NODES, commits: int = COMMITS):
+    """A base document and ``commits`` successive simulated versions."""
+    base, _, _ = scenario(nodes, doc_seed=71, sim_seed=72)
+    versions = []
+    current = base
+    for step in range(commits):
+        result = simulate_changes(
+            current,
+            SimulatorConfig(0.03, 0.08, 0.03, 0.03, seed=73 + step),
+        )
+        current = result.new_document
+        versions.append(current)
+    return base, tuple(versions)
+
+
+def run_commits(annotation_cache: bool) -> VersionStore:
+    base, versions = commit_chain()
+    store = VersionStore(
+        MemoryRepository(), annotation_cache=annotation_cache
+    )
+    store.create("doc", base)
+    for version in versions:
+        store.commit("doc", version)
+    return store
+
+
+def test_commits_with_annotation_cache(benchmark):
+    store = benchmark(lambda: run_commits(True))
+    counters = store.last_stats.counters
+    benchmark.extra_info["cache_hits_last_commit"] = counters.get(
+        "annotation_cache_hits", 0
+    )
+    # after the first commit, the stored current version is always a
+    # cache hit: one hit (old side) per subsequent commit
+    assert counters.get("annotation_cache_hits", 0) >= 1
+
+
+def test_commits_without_annotation_cache(benchmark):
+    store = benchmark(lambda: run_commits(False))
+    assert store.last_stats.counters.get("annotation_cache_hits", 0) == 0
+
+
+def test_cache_does_not_change_deltas():
+    """The speedup is free: cached and uncached chains are byte-identical."""
+    cached = run_commits(True)
+    uncached = run_commits(False)
+    cached_chain = [serialize_delta(d) for d in cached.deltas("doc")]
+    uncached_chain = [serialize_delta(d) for d in uncached.deltas("doc")]
+    assert cached_chain == uncached_chain
+    assert cached.verify_integrity("doc")

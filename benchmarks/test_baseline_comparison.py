@@ -19,7 +19,8 @@ import pytest
 
 from benchmarks.workloads import diff_pair
 from repro.baselines import diffmk, ladiff_diff, lu_diff
-from repro.core import diff
+from repro.core import delta_byte_size, diff
+from repro.engine import available_engines, get_engine
 
 NODES = 600  # small enough that the quadratic baselines stay affordable
 
@@ -59,6 +60,25 @@ def test_diffmk(benchmark, pair):
     old, new = pair
     result = benchmark(lambda: diffmk(old, new))
     benchmark.extra_info["edit_tokens"] = result.edit_tokens
+
+
+@pytest.mark.parametrize("engine_name", available_engines())
+def test_engine_registry(benchmark, pair, engine_name):
+    """Every algorithm through the shared engine interface.
+
+    Unlike the raw-API benchmarks above, all engines here pay the same
+    delta-construction cost (the shared Phase-5 builder), so delta bytes
+    are directly comparable across algorithms.
+    """
+    old, new = pair
+    engine = get_engine(engine_name)
+    delta = benchmark(
+        lambda: engine.diff(
+            old.clone(keep_xids=False), new.clone(keep_xids=False)
+        )
+    )
+    benchmark.extra_info["operations"] = sum(delta.summary().values())
+    benchmark.extra_info["delta_bytes"] = delta_byte_size(delta)
 
 
 def test_scaling_gap_widens(benchmark):

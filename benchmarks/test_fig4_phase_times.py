@@ -37,6 +37,11 @@ def test_diff_total_time(benchmark, nodes):
     benchmark.extra_info["new_nodes"] = stats.new_nodes
     for phase, seconds in stats.phase_seconds.items():
         benchmark.extra_info[f"{phase}_seconds"] = round(seconds, 6)
+    # stage_seconds is the execution-order record (phase numbering is not
+    # the run order: annotate/phase2 precedes id-attributes/phase1)
+    benchmark.extra_info["stage_order"] = list(stats.stage_order)
+    for stage, seconds in stats.stage_seconds.items():
+        benchmark.extra_info[f"stage_{stage}_seconds"] = round(seconds, 6)
     benchmark.extra_info["core_seconds"] = round(stats.core_seconds, 6)
     # the paper's observation: the core (phases 3+4) is the fast part
     assert stats.core_seconds <= stats.total_seconds

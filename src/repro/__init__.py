@@ -20,6 +20,8 @@ The public surface is re-exported here; see the subpackages for the full API:
 
 - :mod:`repro.xmlkit` — XML document model, parser, serializer, DTD support.
 - :mod:`repro.core` — BULD matching, deltas, apply/invert/aggregate.
+- :mod:`repro.engine` — the pluggable engine pipeline (registry, context,
+  annotation reuse); every algorithm behind one ``diff`` interface.
 - :mod:`repro.baselines` — Lu/Selkow, LaDiff, Zhang–Shasha, DiffMK, Unix diff.
 - :mod:`repro.versioning` — repository, version control, alerter, text index.
 - :mod:`repro.simulator` — document generators and the change simulator.
@@ -39,19 +41,34 @@ from repro.xmlkit import (
 from repro.core import (
     Delta,
     DiffConfig,
+    DiffStats,
     apply_backward,
     apply_delta,
     aggregate,
     diff,
+    diff_with_stats,
     invert,
 )
+from repro.engine import (
+    AnnotationStore,
+    DiffContext,
+    DiffEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    register_matcher,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AnnotationStore",
     "Comment",
     "Delta",
     "DiffConfig",
+    "DiffContext",
+    "DiffEngine",
+    "DiffStats",
     "Document",
     "Element",
     "ProcessingInstruction",
@@ -60,10 +77,15 @@ __all__ = [
     "aggregate",
     "apply_backward",
     "apply_delta",
+    "available_engines",
     "diff",
+    "diff_with_stats",
+    "get_engine",
     "invert",
     "parse",
     "parse_file",
+    "register_engine",
+    "register_matcher",
     "serialize",
     "__version__",
 ]

@@ -17,6 +17,7 @@ All commands read/write XML on files or stdin/stdout (``-``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.apply import apply_backward, apply_delta
@@ -27,6 +28,7 @@ from repro.core.deltaxml import (
     serialize_delta,
 )
 from repro.core.diff import diff, diff_with_stats
+from repro.engine import available_engines
 from repro.simulator.change_simulator import SimulatorConfig, simulate_changes
 from repro.simulator.generator import (
     GeneratorConfig,
@@ -114,7 +116,7 @@ def _config_from_args(args) -> DiffConfig:
 def _cmd_diff(args) -> int:
     old = _load_document(args.old, args.keep_whitespace)
     new = _load_document(args.new, args.keep_whitespace)
-    delta = diff(old, new, _config_from_args(args))
+    delta = diff(old, new, _config_from_args(args), engine=args.engine)
     _write(args.output, serialize_delta(delta))
     _write_xidmap(new, args.new_xidmap)
     return 0
@@ -149,8 +151,16 @@ def _cmd_invert(args) -> int:
 def _cmd_stats(args) -> int:
     old = _load_document(args.old, args.keep_whitespace)
     new = _load_document(args.new, args.keep_whitespace)
-    delta, stats = diff_with_stats(old, new, _config_from_args(args))
+    delta, stats = diff_with_stats(
+        old, new, _config_from_args(args), engine=args.engine
+    )
+    if args.json:
+        payload = stats.to_dict()
+        payload["delta_bytes"] = delta_byte_size(delta)
+        _write(args.output, json.dumps(payload, indent=2) + "\n")
+        return 0
     lines = [
+        f"engine:         {stats.engine}",
         f"old nodes:      {stats.old_nodes}",
         f"new nodes:      {stats.new_nodes}",
         f"matched nodes:  {stats.matched_nodes}",
@@ -168,6 +178,7 @@ def _cmd_stats(args) -> int:
         lines.append(
             f"{phase} seconds: {stats.phase_seconds.get(phase, 0.0):.6f}"
         )
+    lines.append("stage order:    " + " -> ".join(stats.stage_order))
     lines.append(f"total seconds:  {stats.total_seconds:.6f}")
     _write(args.output, "\n".join(lines) + "\n")
     return 0
@@ -348,6 +359,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="preserve whitespace-only text nodes",
         )
 
+    def add_engine(sub):
+        sub.add_argument(
+            "--engine",
+            choices=available_engines(),
+            default="buld",
+            help="diff engine (default: buld)",
+        )
+
     sub = subparsers.add_parser("diff", help="compute a delta")
     sub.add_argument("old")
     sub.add_argument("new")
@@ -359,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the new version's XID-map here "
                           "(needed to later revert from the new version)")
     add_common(sub)
+    add_engine(sub)
     sub.set_defaults(func=_cmd_diff)
 
     sub = subparsers.add_parser("apply", help="apply a delta forward")
@@ -395,7 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("new")
     sub.add_argument("--no-ids", action="store_true")
     sub.add_argument("--passes", type=int, default=2)
+    sub.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON instead of text")
     add_common(sub)
+    add_engine(sub)
     sub.set_defaults(func=_cmd_stats)
 
     sub = subparsers.add_parser(

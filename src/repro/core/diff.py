@@ -1,9 +1,11 @@
-"""Public diff entry points.
+"""Public diff entry points (thin shims over :mod:`repro.engine`).
 
 :func:`diff` is the one-call API: run BULD on two documents, build the
-delta.  :func:`diff_with_stats` additionally returns per-phase wall-clock
+delta.  :func:`diff_with_stats` additionally returns per-stage wall-clock
 timings and matching statistics — the instrumentation behind the paper's
-Figure 4 (time per phase vs document size).
+Figure 4 (time per phase vs document size).  Both delegate to the engine
+registry (``get_engine("buld")`` by default); pass ``engine=`` to run any
+registered algorithm through the same interface.
 
 XID contract
 ------------
@@ -14,19 +16,27 @@ XID contract
   ``allocator`` (or ``max_xid(old)+1`` by default).  Handing the labelled
   new document plus the returned delta to a version store is all it takes
   to keep identifiers persistent across versions.
+
+Stage order vs phase numbers
+----------------------------
+``DiffStats.phase_seconds`` keeps the paper's phase numbering
+(``"phase1"`` .. ``"phase5"``) for figure comparability, but that
+numbering is **not** the execution order: BULD computes signatures and
+weights (phase 2) *before* the ID-attribute pass (phase 1), because the
+free-match propagation of phase 1 needs the weights.  The authoritative
+execution record is ``DiffStats.stage_seconds`` — an insertion-ordered
+mapping of stage name to seconds, e.g. ``annotate`` → ``id-attributes``
+→ ``match-subtrees`` → ``propagate`` → ``build-delta`` for BULD.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.builder import build_delta
-from repro.core.buld import BuldMatcher
 from repro.core.config import DiffConfig
 from repro.core.delta import Delta
-from repro.core.xid import XidAllocator, assign_initial_xids, max_xid
+from repro.core.xid import XidAllocator
 from repro.xmlkit.model import Document
 
 __all__ = ["DiffStats", "diff", "diff_with_stats"]
@@ -37,11 +47,19 @@ class DiffStats:
     """Instrumentation of one diff run.
 
     Attributes:
-        phase_seconds: Wall-clock seconds per phase, keyed ``"phase1"`` ..
-            ``"phase5"`` (phase 5 is delta construction).
+        engine: Name of the engine that produced the delta.
+        phase_seconds: Wall-clock seconds keyed by the paper's phase
+            numbers ``"phase1"`` .. ``"phase5"`` (phase 5 is delta
+            construction).  Present for stages that have a paper
+            counterpart; see ``stage_seconds`` for the execution order.
+        stage_seconds: Seconds per pipeline stage, *in execution order*
+            (dict insertion order); skipped stages record 0.0.
         old_nodes / new_nodes: Node counts of the two documents.
         matched_nodes: Size of the final matching (document pair excluded).
         operation_counts: Delta operations per kind.
+        counters: Free-form counters from the run's
+            :class:`~repro.engine.context.DiffContext` (e.g. annotation
+            cache hits).
     """
 
     phase_seconds: dict[str, float] = field(default_factory=dict)
@@ -49,9 +67,15 @@ class DiffStats:
     new_nodes: int = 0
     matched_nodes: int = 0
     operation_counts: dict[str, int] = field(default_factory=dict)
+    engine: str = "buld"
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
+        """Sum over stages (falls back to phase aliases if no stages)."""
+        if self.stage_seconds:
+            return sum(self.stage_seconds.values())
         return sum(self.phase_seconds.values())
 
     @property
@@ -61,6 +85,27 @@ class DiffStats:
             "phase4", 0.0
         )
 
+    @property
+    def stage_order(self) -> list[str]:
+        """Stage names in execution order."""
+        return list(self.stage_seconds)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the CLI's ``stats --json`` payload)."""
+        return {
+            "engine": self.engine,
+            "old_nodes": self.old_nodes,
+            "new_nodes": self.new_nodes,
+            "matched_nodes": self.matched_nodes,
+            "operation_counts": dict(self.operation_counts),
+            "stage_order": self.stage_order,
+            "stage_seconds": dict(self.stage_seconds),
+            "phase_seconds": dict(self.phase_seconds),
+            "counters": dict(self.counters),
+            "total_seconds": self.total_seconds,
+            "core_seconds": self.core_seconds,
+        }
+
 
 def diff(
     old_document: Document,
@@ -68,6 +113,7 @@ def diff(
     config: Optional[DiffConfig] = None,
     *,
     allocator: Optional[XidAllocator] = None,
+    engine: str = "buld",
 ) -> Delta:
     """Compute the delta transforming ``old_document`` into ``new_document``.
 
@@ -78,13 +124,14 @@ def diff(
             paper's settings.
         allocator: XID source for inserted nodes (version stores pass the
             document's persistent allocator).
+        engine: Registered engine name (default the paper's BULD).
 
     Returns:
         A completed :class:`~repro.core.delta.Delta`; applying it to
         ``old_document`` yields ``new_document`` exactly.
     """
     delta, _ = diff_with_stats(
-        old_document, new_document, config, allocator=allocator
+        old_document, new_document, config, allocator=allocator, engine=engine
     )
     return delta
 
@@ -95,50 +142,11 @@ def diff_with_stats(
     config: Optional[DiffConfig] = None,
     *,
     allocator: Optional[XidAllocator] = None,
+    engine: str = "buld",
 ) -> tuple[Delta, DiffStats]:
-    """Like :func:`diff` but also returns per-phase statistics."""
-    if config is None:
-        config = DiffConfig()
-    config.validate()
-    stats = DiffStats()
+    """Like :func:`diff` but also returns per-stage statistics."""
+    from repro.engine.registry import resolve_engine
 
-    if max_xid(old_document) == 0:
-        assign_initial_xids(old_document)
-    if allocator is None:
-        allocator = XidAllocator(max_xid(old_document) + 1)
-
-    matcher = BuldMatcher(old_document, new_document, config)
-
-    started = time.perf_counter()
-    matcher.phase2_annotate()
-    stats.phase_seconds["phase2"] = time.perf_counter() - started
-
-    started = time.perf_counter()
-    matcher.phase1_id_attributes()
-    stats.phase_seconds["phase1"] = time.perf_counter() - started
-
-    started = time.perf_counter()
-    matcher.phase3_match_subtrees()
-    stats.phase_seconds["phase3"] = time.perf_counter() - started
-
-    started = time.perf_counter()
-    matcher.phase4_propagate()
-    stats.phase_seconds["phase4"] = time.perf_counter() - started
-
-    started = time.perf_counter()
-    delta = build_delta(
-        old_document,
-        new_document,
-        matcher.matching,
-        allocator=allocator,
-        weights=matcher.new_annotations.weights,
-        exact_move_threshold=config.exact_move_threshold,
-        move_block_length=config.move_block_length,
+    return resolve_engine(engine).diff_with_stats(
+        old_document, new_document, config, allocator=allocator
     )
-    stats.phase_seconds["phase5"] = time.perf_counter() - started
-
-    stats.old_nodes = matcher.old_annotations.node_count
-    stats.new_nodes = matcher.new_annotations.node_count
-    stats.matched_nodes = max(len(matcher.matching) - 1, 0)  # minus doc pair
-    stats.operation_counts = delta.summary()
-    return delta, stats

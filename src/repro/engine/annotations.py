@@ -1,0 +1,240 @@
+"""Cross-run reuse of Phase-2 subtree annotations.
+
+The Xyleme deployment the paper describes diffs each document
+version-after-version: the "old" side of commit *N+1* is byte-identical to
+the "new" side of commit *N*, yet the seed recomputed its signatures and
+weights (a blake2b digest per node) from scratch on every commit.
+
+An :class:`AnnotationStore` caches annotations in *portable* form — the
+postorder sequence of ``(signature, weight)`` — keyed by document content,
+so they can be reattached to any structurally identical document object (a
+clone, or a fresh parse of the stored snapshot).  Reattachment is a single
+postorder zip: no hashing, no per-node digest work.
+
+Keying is by content, not object identity: a blake2b digest over a
+single-pass token stream of the tree (kind markers, labels, attributes,
+values, with explicit element close markers).  Unlike a digest of the
+serialized XML, the stream keeps text-node boundaries visible, so
+documents that serialize identically but split their text differently
+(``"ab" + "c"`` vs ``"a" + "bc"``) get distinct keys; a node-count check
+at reattach time guards the rest.  Annotation-mode flags
+(``log_text_weight``, ``fast``) are part of the key — cached digests are
+only valid for the settings that produced them.
+
+The cache must pay for itself: a commit annotates *both* sides but hits
+on only one (the stored current version), so the key walk plus record
+bookkeeping has to be much cheaper than :func:`annotate`'s per-node
+digests.  That is why the key is one flat token walk (no serializer, no
+escaping) and the record is built from the annotation dicts themselves —
+:func:`annotate` fills them in postorder, so their ``values()`` views
+already are the portable postorder sequences.
+
+Even so, a full content walk scales with document size just like
+annotation does, which caps the speedup.  Callers that already *know* an
+immutable identity for the content — the version store, where
+``(doc_id, version)`` can never denote two different trees — pass it as
+an explicit ``key`` and skip the content walk entirely; that identity
+hint is what makes the commit-loop hit path O(reattach) instead of
+O(hash).  The node-count guard at reattach still applies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.signature import TreeAnnotations, annotate
+from repro.xmlkit.model import Document, postorder
+
+__all__ = ["AnnotationStore"]
+
+#: Sentinel marking an element's end in the content-key token walk.
+_CLOSE = object()
+
+
+class _AnnotationRecord:
+    """Portable (document-object-independent) form of TreeAnnotations."""
+
+    __slots__ = ("signatures", "weights", "total_weight", "node_count")
+
+    def __init__(self, annotations: TreeAnnotations):
+        # annotate() inserts in postorder; dict order preserves it.
+        self.signatures = list(annotations.signatures.values())
+        self.weights = list(annotations.weights.values())
+        self.total_weight = annotations.total_weight
+        self.node_count = annotations.node_count
+
+    def reattach(self, document: Document) -> Optional[TreeAnnotations]:
+        """Rebind the cached values to ``document``'s nodes, or ``None``.
+
+        Returns ``None`` when the document's postorder length does not
+        match the record (content key collision or structural drift) —
+        the caller then falls back to a full recompute.
+        """
+        nodes = list(postorder(document))
+        if len(nodes) != self.node_count:
+            return None
+        annotations = TreeAnnotations()
+        annotations.signatures = dict(zip(nodes, self.signatures))
+        annotations.weights = dict(zip(nodes, self.weights))
+        annotations.total_weight = self.total_weight
+        annotations.node_count = self.node_count
+        return annotations
+
+
+class AnnotationStore:
+    """LRU cache of subtree signatures/weights keyed by document content.
+
+    Thread-compatibility matches the rest of the library: one store per
+    version store / pipeline, no internal locking.  ``fast`` signatures
+    (salted per-process hashes) are safe to cache because the store itself
+    is in-process.
+
+    Attributes:
+        max_entries: LRU bound (each entry holds two lists of node size).
+        hits / misses / evictions: Lifetime statistics.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._records: OrderedDict[tuple, _AnnotationRecord] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    @staticmethod
+    def content_key(
+        document: Document, *, log_text_weight: bool = True, fast: bool = False
+    ) -> tuple:
+        """The cache key for a document under given annotation settings.
+
+        One preorder walk emits a NUL-joined token stream — every node
+        starts with a distinct marker token and XML content cannot
+        contain NUL, so the stream is unambiguous — and a single blake2b
+        digest of it becomes the key.  The walk appends plain ``str``
+        parts and pays one join + one encode + one digest at the end;
+        per-node work stays far below :func:`annotate`'s per-node
+        digests, which is what makes the cache a net win.
+        """
+        parts: list[str] = ["1" if log_text_weight else "0", "F" if fast else "S"]
+        add = parts.append
+        stack: list = [document]
+        pop = stack.pop
+        while stack:
+            node = pop()
+            if node is _CLOSE:
+                add(")")
+                continue
+            kind = node.kind
+            if kind == "element":
+                add("(E")
+                add(node.label)
+                attributes = node.attributes
+                if attributes:
+                    for name in sorted(attributes):
+                        add("@" + name)
+                        add(str(attributes[name]))
+                stack.append(_CLOSE)
+                stack.extend(reversed(node.children))
+            elif kind == "text":
+                add("T")
+                add(node.value)
+            elif kind == "document":
+                add("(D")
+                stack.append(_CLOSE)
+                stack.extend(reversed(node.children))
+            elif kind == "comment":
+                add("C")
+                add(node.value)
+            else:  # pi
+                add("P")
+                add(node.target)
+                add(node.value)
+        digest = hashlib.blake2b(
+            "\x00".join(parts).encode("utf-8", "surrogatepass"),
+            digest_size=16,
+        ).digest()
+        return (digest, bool(log_text_weight), bool(fast))
+
+    def annotate(
+        self,
+        document: Document,
+        *,
+        log_text_weight: bool = True,
+        fast: bool = False,
+        counters: Optional[dict] = None,
+        key=None,
+    ) -> TreeAnnotations:
+        """Annotations for ``document``, reusing cached work when possible.
+
+        Drop-in replacement for :func:`repro.core.signature.annotate`:
+        on a content hit the cached postorder values are reattached to
+        this document's nodes; on a miss the annotations are computed and
+        stored for the next structurally identical document.
+
+        Args:
+            document: Document (or subtree root) to annotate.
+            log_text_weight / fast: Same meaning as in
+                :func:`~repro.core.signature.annotate`; part of the key.
+            counters: Optional dict (e.g. ``DiffContext.counters``) that
+                receives ``annotation_cache_hits`` / ``_misses`` bumps.
+            key: Optional hashable identity the caller guarantees denotes
+                immutable content (e.g. the version store's
+                ``(doc_id, version)``).  Replaces the content-hash walk —
+                the O(document) part of a lookup — so hits cost only the
+                reattach zip.  Two calls with the same ``key`` but
+                different content violate the contract; the node-count
+                guard at reattach catches structural drift and falls back
+                to a recompute, but same-shape content drift would go
+                unnoticed.
+
+        Returns:
+            A fresh :class:`TreeAnnotations` bound to this document's
+            node objects.
+        """
+        if key is not None:
+            key = ("hint", key, bool(log_text_weight), bool(fast))
+        else:
+            key = self.content_key(
+                document, log_text_weight=log_text_weight, fast=fast
+            )
+        record = self._records.get(key)
+        if record is not None:
+            annotations = record.reattach(document)
+            if annotations is not None:
+                self.hits += 1
+                self._records.move_to_end(key)
+                if counters is not None:
+                    counters["annotation_cache_hits"] = (
+                        counters.get("annotation_cache_hits", 0) + 1
+                    )
+                return annotations
+        self.misses += 1
+        if counters is not None:
+            counters["annotation_cache_misses"] = (
+                counters.get("annotation_cache_misses", 0) + 1
+            )
+        annotations = annotate(
+            document, log_text_weight=log_text_weight, fast=fast
+        )
+        self._records[key] = _AnnotationRecord(annotations)
+        self._records.move_to_end(key)
+        while len(self._records) > self.max_entries:
+            self._records.popitem(last=False)
+            self.evictions += 1
+        return annotations
+
+    def __repr__(self):
+        return (
+            f"<AnnotationStore entries={len(self._records)} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,255 @@
+"""The engine abstraction: one entry point for every diff algorithm.
+
+The paper's evaluation treats XyDiff as *one engine among several* (Unix
+diff, DiffMK, Lu, LaDiff ...).  This module gives all of them a common
+shape:
+
+- a :class:`Matcher` produces a :class:`~repro.core.matching.Matching`
+  between two documents — the minimal protocol a new algorithm must
+  implement;
+- a :class:`DiffEngine` runs a *pipeline of named stages* over a shared
+  :class:`EngineRun`, timing each stage, honouring the context's
+  ``skip_stages``, and emitting :class:`~repro.engine.context.StageEvent`
+  hooks — then hands the matching to the shared Phase-5 builder;
+- :class:`MatcherEngine` adapts any :class:`Matcher` into a two-stage
+  (``match`` → ``build-delta``) engine, so registering a custom algorithm
+  is one line (see :func:`repro.engine.registry.register_matcher`).
+
+Every engine produces a completed :class:`~repro.core.delta.Delta` through
+the same XID contract as :func:`repro.diff` (old labelled in place if
+unlabelled, new labelled as a side effect), so engines are interchangeable
+anywhere a delta is consumed — version stores, benchmarks, the CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from repro.core.builder import build_delta
+from repro.core.config import DiffConfig
+from repro.core.delta import Delta
+from repro.core.diff import DiffStats
+from repro.core.matching import Matching
+from repro.core.xid import XidAllocator, assign_initial_xids, max_xid
+from repro.engine.context import DiffContext, StageEvent, StageTiming
+from repro.xmlkit.errors import ReproError
+from repro.xmlkit.model import Document, Node
+
+__all__ = [
+    "DiffEngine",
+    "EngineError",
+    "EngineRun",
+    "Matcher",
+    "MatcherEngine",
+    "Stage",
+]
+
+
+class EngineError(ReproError):
+    """Raised on engine misuse (unknown name, pipeline without a delta)."""
+
+
+@runtime_checkable
+class Matcher(Protocol):
+    """The minimal protocol a diff algorithm must implement.
+
+    A matcher only decides *which nodes correspond*; delta construction,
+    XID management, timing and statistics are the engine's job.
+    """
+
+    def match(
+        self, old: Document, new: Document, context: DiffContext
+    ) -> Matching:
+        """Return a matching between ``old`` and ``new``."""
+        ...
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named step of an engine pipeline.
+
+    Attributes:
+        name: Stable identifier (used by ``skip_stages`` and reporting).
+        run: Callable receiving the shared :class:`EngineRun`.
+        phase_key: Optional paper-phase alias recorded into
+            ``DiffStats.phase_seconds`` (``"phase1"`` .. ``"phase5"``).
+        required: Required stages ignore ``skip_stages`` — skipping them
+            could never produce a delta (e.g. ``build-delta``).
+    """
+
+    name: str
+    run: Callable[["EngineRun"], None]
+    phase_key: Optional[str] = None
+    required: bool = False
+
+
+@dataclass
+class EngineRun:
+    """Mutable state threaded through the stages of one diff run."""
+
+    old: Document
+    new: Document
+    context: DiffContext
+    matching: Optional[Matching] = None
+    weights: Optional[dict[Node, float]] = None
+    delta: Optional[Delta] = None
+    old_nodes: int = 0
+    new_nodes: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class DiffEngine:
+    """Base class: a named, stage-pipelined diff algorithm.
+
+    Subclasses implement :meth:`stages`; the base class owns the run
+    protocol — XID preparation, stage timing, skip handling, event hooks,
+    and statistics — so every engine behaves identically from the
+    outside.
+    """
+
+    #: Registry name; set by subclasses / the registry.
+    name: str = ""
+
+    # -- to implement ------------------------------------------------------
+
+    def stages(self, run: EngineRun) -> list[Stage]:
+        """The ordered pipeline for one run (fresh closures per run)."""
+        raise NotImplementedError
+
+    # -- run protocol ------------------------------------------------------
+
+    def diff(
+        self,
+        old_document: Document,
+        new_document: Document,
+        config: Optional[DiffConfig] = None,
+        *,
+        allocator: Optional[XidAllocator] = None,
+        context: Optional[DiffContext] = None,
+    ) -> Delta:
+        """Compute the delta transforming old into new (stats discarded)."""
+        delta, _ = self.diff_with_stats(
+            old_document,
+            new_document,
+            config,
+            allocator=allocator,
+            context=context,
+        )
+        return delta
+
+    def diff_with_stats(
+        self,
+        old_document: Document,
+        new_document: Document,
+        config: Optional[DiffConfig] = None,
+        *,
+        allocator: Optional[XidAllocator] = None,
+        context: Optional[DiffContext] = None,
+    ) -> tuple[Delta, DiffStats]:
+        """Run the pipeline; return the delta plus per-stage statistics.
+
+        ``config`` and ``allocator`` fill the corresponding context slots
+        when those are ``None``; an explicit :class:`DiffContext` carries
+        everything else (annotation store, skip set, observers).
+        """
+        if context is None:
+            context = DiffContext()
+        if context.config is None:
+            context.config = config if config is not None else DiffConfig()
+        context.config.validate()
+        if context.allocator is None:
+            context.allocator = allocator
+
+        self._prepare_xids(old_document, context)
+        run = EngineRun(old=old_document, new=new_document, context=context)
+        for order, stage in enumerate(self.stages(run)):
+            if stage.name in context.skip_stages and not stage.required:
+                context.timings.append(
+                    StageTiming(
+                        stage.name, order, 0.0, stage.phase_key, skipped=True
+                    )
+                )
+                context.emit(StageEvent(stage.name, order, "skipped"))
+                continue
+            context.emit(StageEvent(stage.name, order, "start"))
+            started = time.perf_counter()
+            stage.run(run)
+            elapsed = time.perf_counter() - started
+            context.timings.append(
+                StageTiming(stage.name, order, elapsed, stage.phase_key)
+            )
+            context.emit(StageEvent(stage.name, order, "end", elapsed))
+        if run.delta is None:
+            raise EngineError(
+                f"engine {self.name!r}: pipeline finished without a delta"
+            )
+        return run.delta, self._finish_stats(run)
+
+    # -- shared helpers ----------------------------------------------------
+
+    @staticmethod
+    def _prepare_xids(old_document: Document, context: DiffContext) -> None:
+        """The XID contract shared by every engine (see repro.core.diff)."""
+        if max_xid(old_document) == 0:
+            assign_initial_xids(old_document)
+        if context.allocator is None:
+            context.allocator = XidAllocator(max_xid(old_document) + 1)
+
+    def _build_delta_stage(self, run: EngineRun) -> None:
+        """Default ``build-delta`` stage body (the shared Phase 5)."""
+        config = run.context.config
+        run.delta = build_delta(
+            run.old,
+            run.new,
+            run.matching,
+            allocator=run.context.allocator,
+            weights=run.weights,
+            exact_move_threshold=config.exact_move_threshold,
+            move_block_length=config.move_block_length,
+        )
+
+    def _finish_stats(self, run: EngineRun) -> DiffStats:
+        stats = DiffStats(engine=self.name)
+        for timing in run.context.timings:
+            stats.stage_seconds[timing.name] = timing.seconds
+            if timing.phase_key is not None:
+                stats.phase_seconds[timing.phase_key] = timing.seconds
+        stats.old_nodes = run.old_nodes or run.old.subtree_size()
+        stats.new_nodes = run.new_nodes or run.new.subtree_size()
+        if run.matching is not None:
+            stats.matched_nodes = max(len(run.matching) - 1, 0)
+        stats.operation_counts = run.delta.summary()
+        stats.counters = dict(run.context.counters)
+        return stats
+
+    def __repr__(self):
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class MatcherEngine(DiffEngine):
+    """Adapter turning any :class:`Matcher` into a two-stage engine.
+
+    The pipeline is ``match`` (the algorithm) followed by ``build-delta``
+    (the shared Phase-5 builder).  The match stage carries the paper's
+    ``phase3`` alias — it is the counterpart of BULD's matching core.
+    """
+
+    def __init__(self, name: str, matcher: Matcher):
+        self.name = name
+        self.matcher = matcher
+
+    def stages(self, run: EngineRun) -> list[Stage]:
+        return [
+            Stage("match", self._match, phase_key="phase3", required=True),
+            Stage(
+                "build-delta",
+                self._build_delta_stage,
+                phase_key="phase5",
+                required=True,
+            ),
+        ]
+
+    def _match(self, run: EngineRun) -> None:
+        run.matching = self.matcher.match(run.old, run.new, run.context)

@@ -1,0 +1,122 @@
+"""Per-run orchestration state: :class:`DiffContext` and stage records.
+
+One :class:`DiffContext` accompanies one diff run through an engine's
+pipeline.  It carries the configuration and the XID allocator (the two
+inputs every engine needs), the optional :class:`~repro.engine.annotations.
+AnnotationStore` (cross-run signature/weight reuse), the set of stages the
+caller wants skipped (the declarative replacement for monkeypatching
+individual BULD phases in ablations), observers that receive a
+:class:`StageEvent` around every stage, and the counters/timings the run
+accumulates.
+
+Stage order vs the paper's phase numbers
+----------------------------------------
+The paper numbers the BULD phases 1-5 but *executes* phase 2 (signatures
+and weights) before phase 1 (ID attributes) — phase 1's free-match
+propagation needs the weights.  The seed's ``diff_with_stats`` silently
+inherited that inversion while keying its timings ``"phase1"`` ..
+``"phase5"`` as if the numbering were the execution order.  The pipeline
+makes the order explicit: ``DiffContext.timings`` records stages in
+execution order (also exposed as ``DiffStats.stage_seconds``, an
+insertion-ordered mapping), while each stage's optional ``phase_key``
+keeps the paper-numbered alias in ``DiffStats.phase_seconds`` for
+figure-by-figure comparability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.config import DiffConfig
+from repro.core.xid import XidAllocator
+from repro.engine.annotations import AnnotationStore
+
+__all__ = ["DiffContext", "StageEvent", "StageTiming"]
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One executed (or skipped) stage of a pipeline run.
+
+    Attributes:
+        name: Stage name (e.g. ``"annotate"``, ``"match-subtrees"``).
+        order: Zero-based execution position within the run.
+        seconds: Wall-clock duration (0.0 when skipped).
+        phase_key: The paper's phase alias (``"phase1"`` .. ``"phase5"``)
+            or ``None`` for stages without a paper counterpart.
+        skipped: True when the stage was disabled via ``skip_stages``.
+    """
+
+    name: str
+    order: int
+    seconds: float
+    phase_key: Optional[str] = None
+    skipped: bool = False
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """Emitted to context observers around every pipeline stage."""
+
+    stage: str
+    order: int
+    status: str  # "start" | "end" | "skipped"
+    seconds: float = 0.0
+
+
+@dataclass
+class DiffContext:
+    """Everything one diff run needs beyond the two documents.
+
+    Attributes:
+        config: Tuning knobs; filled with defaults by the engine when left
+            ``None``.
+        allocator: XID source for inserted nodes; defaulted by the engine
+            to ``max_xid(old) + 1`` when left ``None`` (version stores
+            pass the document's persistent allocator).
+        annotation_store: Optional cross-run cache of subtree
+            signatures/weights keyed by document content — lets a version
+            store reuse the previous version's Phase-2 work.
+        old_annotation_key / new_annotation_key: Optional identity hints
+            for the two sides, forwarded to
+            :meth:`AnnotationStore.annotate` as its ``key``.  A caller
+            that knows an immutable name for a document's content (the
+            version store's ``(doc_id, version)``) sets these so cache
+            lookups skip the content-hash walk; leave ``None`` to key by
+            content.
+        skip_stages: Names of pipeline stages to skip.  Only stages the
+            engine marks non-required honour this (e.g. skipping
+            ``"build-delta"`` is refused); skipped stages are recorded
+            with ``seconds == 0.0``.
+        observers: Callables receiving a :class:`StageEvent` at stage
+            start/end/skip — the phase-event hook for progress reporting
+            and instrumentation.
+        counters: Free-form numeric counters engines and stores increment
+            (e.g. ``annotation_cache_hits``); copied onto the final
+            :class:`~repro.core.diff.DiffStats`.
+        timings: Stage records in execution order, filled by the engine.
+    """
+
+    config: Optional[DiffConfig] = None
+    allocator: Optional[XidAllocator] = None
+    annotation_store: Optional[AnnotationStore] = None
+    old_annotation_key: Optional[object] = None
+    new_annotation_key: Optional[object] = None
+    skip_stages: frozenset = field(default_factory=frozenset)
+    observers: list[Callable[[StageEvent], None]] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    timings: list[StageTiming] = field(default_factory=list)
+
+    def count(self, key: str, amount: float = 1) -> None:
+        """Increment a named counter."""
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def emit(self, event: StageEvent) -> None:
+        """Deliver an event to every observer (in registration order)."""
+        for observer in self.observers:
+            observer(event)
+
+    def stage_names(self) -> list[str]:
+        """Names of the stages run so far, in execution order."""
+        return [timing.name for timing in self.timings]

@@ -1,0 +1,106 @@
+"""The engine registry: names to :class:`DiffEngine` instances.
+
+Built-in engines (registered by :mod:`repro.engine.engines` on first
+lookup):
+
+- ``"buld"``   — the paper's BULD algorithm, five named stages;
+- ``"lu"``     — Lu/Selkow optimal order-preserving matching (quadratic);
+- ``"ladiff"`` — LaDiff/Chawathe-96 similarity matching;
+- ``"diffmk"`` — DiffMK-style token-list diff lifted back to nodes;
+- ``"flat"``   — node-sequence LCS (structure-blind lower baseline).
+
+Registering a custom algorithm::
+
+    from repro.engine import register_matcher
+
+    class MyMatcher:
+        def match(self, old, new, context):
+            ...  # return a repro.core.matching.Matching
+
+    register_matcher("mine", MyMatcher())
+    delta = repro.engine.get_engine("mine").diff(old, new)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.engine.base import DiffEngine, EngineError, Matcher, MatcherEngine
+
+__all__ = [
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "register_matcher",
+    "resolve_engine",
+]
+
+_FACTORIES: dict[str, Callable[[], DiffEngine]] = {}
+_INSTANCES: dict[str, DiffEngine] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        import repro.engine.engines  # noqa: F401  (registers on import)
+
+
+def register_engine(
+    name: str, factory: Callable[[], DiffEngine]
+) -> Callable[[], DiffEngine]:
+    """Register (or replace) an engine factory under ``name``.
+
+    The factory is called lazily, once, on first :func:`get_engine`
+    lookup; engines are expected to be stateless across runs (per-run
+    state lives in :class:`~repro.engine.base.EngineRun`).
+    """
+    if not name:
+        raise EngineError("engine name must be non-empty")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+    return factory
+
+
+def register_matcher(name: str, matcher: Matcher) -> DiffEngine:
+    """Register a bare :class:`Matcher` as a two-stage engine."""
+    engine = MatcherEngine(name, matcher)
+    register_engine(name, lambda: engine)
+    return engine
+
+
+def available_engines() -> list[str]:
+    """Sorted names of every registered engine."""
+    _ensure_builtins()
+    return sorted(_FACTORIES)
+
+
+def get_engine(name: str) -> DiffEngine:
+    """The engine registered under ``name``.
+
+    Raises:
+        EngineError: Unknown name (the message lists what is available).
+    """
+    _ensure_builtins()
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise EngineError(
+            f"unknown engine {name!r}; available: "
+            + ", ".join(sorted(_FACTORIES))
+        )
+    instance = factory()
+    if not instance.name:
+        instance.name = name
+    _INSTANCES[name] = instance
+    return instance
+
+
+def resolve_engine(engine: Union[str, DiffEngine]) -> DiffEngine:
+    """Accept an engine name or instance; return the instance."""
+    if isinstance(engine, DiffEngine):
+        return engine
+    return get_engine(engine)

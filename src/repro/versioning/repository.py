@@ -53,8 +53,16 @@ class Repository:
         """Highest stored version number (versions start at 1)."""
         raise NotImplementedError
 
-    def load_current(self, doc_id: str) -> Document:
-        """The current snapshot (a private copy the caller may mutate)."""
+    def load_current(self, doc_id: str, readonly: bool = False) -> Document:
+        """The current snapshot.
+
+        By default the caller receives a private copy it may freely
+        mutate.  With ``readonly=True`` the repository may return a
+        shared instance instead (skipping a full-tree clone — the
+        version store's diff-on-commit hot path reads the current
+        version and throws it away); the caller promises not to mutate
+        it.
+        """
         raise NotImplementedError
 
     def load_allocator(self, doc_id: str) -> XidAllocator:
@@ -122,9 +130,10 @@ class MemoryRepository(Repository):
         self._check_exists(doc_id)
         return len(self._deltas[doc_id]) + 1
 
-    def load_current(self, doc_id: str) -> Document:
+    def load_current(self, doc_id: str, readonly: bool = False) -> Document:
         self._check_exists(doc_id)
-        return self._current[doc_id].clone()
+        document = self._current[doc_id]
+        return document if readonly else document.clone()
 
     def load_allocator(self, doc_id: str) -> XidAllocator:
         self._check_exists(doc_id)
@@ -162,11 +171,27 @@ class MemoryRepository(Repository):
 
 
 class DirectoryRepository(Repository):
-    """Filesystem-backed repository (one subdirectory per document)."""
+    """Filesystem-backed repository (one subdirectory per document).
+
+    ``load_current`` keeps a small per-document cache of the parsed
+    current snapshot, keyed by version number, so the commit loop
+    (load → diff → append) does not re-parse an unchanged ``current.xml``
+    on every revisit.  ``append`` and ``create`` *roll the cache
+    forward* (a private copy of the document they just wrote) rather
+    than dropping it — in the commit loop the next ``load_current`` is
+    always for the version just appended, so invalidation would
+    guarantee a miss on the very access the cache exists for.  The disk
+    stays the source of truth: ``meta.json`` is re-read on every load
+    and the cache entry only counts while the *entire* metadata (version,
+    XID labels, ID attributes) still matches it; an out-of-band edit to
+    ``current.xml`` under an unchanged metadata file is the one change
+    the cache cannot see.
+    """
 
     def __init__(self, base_path):
         self.base_path = os.fspath(base_path)
         os.makedirs(self.base_path, exist_ok=True)
+        self._current_cache: dict[str, tuple[dict, Document]] = {}
 
     # -- paths ---------------------------------------------------------------
 
@@ -209,18 +234,17 @@ class DirectoryRepository(Repository):
             raise RepositoryError(f"document {doc_id!r} already exists")
         os.makedirs(directory, exist_ok=True)
         write_file(document, self._current_path(doc_id))
-        self._store_meta(
-            doc_id,
-            {
-                "doc_id": doc_id,
-                "current_version": 1,
-                "next_xid": allocator.next_xid,
-                "id_attributes": sorted(
-                    list(pair) for pair in document.id_attributes
-                ),
-                "xid_labels": _collect_xids(document),
-            },
-        )
+        meta = {
+            "doc_id": doc_id,
+            "current_version": 1,
+            "next_xid": allocator.next_xid,
+            "id_attributes": sorted(
+                list(pair) for pair in document.id_attributes
+            ),
+            "xid_labels": _collect_xids(document),
+        }
+        self._store_meta(doc_id, meta)
+        self._current_cache[doc_id] = (meta, document.clone())
 
     def exists(self, doc_id: str) -> bool:
         return os.path.exists(self._meta_path(doc_id))
@@ -237,17 +261,21 @@ class DirectoryRepository(Repository):
     def current_version(self, doc_id: str) -> int:
         return int(self._load_meta(doc_id)["current_version"])
 
-    def load_current(self, doc_id: str) -> Document:
+    def load_current(self, doc_id: str, readonly: bool = False) -> Document:
         self._check_exists(doc_id)
-        document = parse_file(
-            self._current_path(doc_id), strip_whitespace=False
-        )
         meta = self._load_meta(doc_id)
-        document.id_attributes = {
-            tuple(pair) for pair in meta.get("id_attributes", [])
-        }
-        _restore_xids(document, meta)
-        return document
+        cached = self._current_cache.get(doc_id)
+        if cached is None or cached[0] != meta:
+            document = parse_file(
+                self._current_path(doc_id), strip_whitespace=False
+            )
+            document.id_attributes = {
+                tuple(pair) for pair in meta.get("id_attributes", [])
+            }
+            _restore_xids(document, meta)
+            cached = (meta, document)
+            self._current_cache[doc_id] = cached
+        return cached[1] if readonly else cached[1].clone()
 
     def load_allocator(self, doc_id: str) -> XidAllocator:
         return XidAllocator(int(self._load_meta(doc_id)["next_xid"]))
@@ -272,6 +300,7 @@ class DirectoryRepository(Repository):
         meta["next_xid"] = allocator.next_xid
         meta["xid_labels"] = _collect_xids(new_document)
         self._store_meta(doc_id, meta)
+        self._current_cache[doc_id] = (meta, new_document.clone())
 
     # -- snapshot checkpoints ---------------------------------------------------
 

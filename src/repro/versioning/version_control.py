@@ -16,8 +16,9 @@ from typing import Callable, Optional
 from repro.core.apply import aggregate, apply_backward, apply_delta
 from repro.core.config import DiffConfig
 from repro.core.delta import Delta
-from repro.core.diff import diff
+from repro.core.diff import DiffStats
 from repro.core.xid import assign_initial_xids
+from repro.engine import AnnotationStore, DiffContext, DiffEngine, resolve_engine
 from repro.versioning.repository import MemoryRepository, Repository
 from repro.xmlkit.errors import RepositoryError
 from repro.xmlkit.model import Document, coalesce_text
@@ -35,6 +36,15 @@ class VersionStore:
             invoked after every successful commit — this is where the
             paper's *Alerter* (subscription system) and the incremental
             indexer hook in.
+        engine: Diff engine used by :meth:`commit` — a registered name
+            (``"buld"``, ``"lu"``, ...) or a
+            :class:`~repro.engine.base.DiffEngine` instance.
+        annotation_cache: When true (the default), the store keeps an
+            :class:`~repro.engine.annotations.AnnotationStore` so a
+            commit reuses the signatures/weights computed for the same
+            content in a previous commit — the common crawler case where
+            the stored current version is re-annotated on every revisit.
+            Only the BULD engine consults it.
     """
 
     def __init__(
@@ -43,6 +53,8 @@ class VersionStore:
         config: Optional[DiffConfig] = None,
         on_commit: Optional[Callable[[str, Delta, Document], None]] = None,
         checkpoint_every: Optional[int] = None,
+        engine: str | DiffEngine = "buld",
+        annotation_cache: bool = True,
     ):
         self.repository = repository if repository is not None else MemoryRepository()
         self.config = config or DiffConfig()
@@ -50,6 +62,12 @@ class VersionStore:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         self.checkpoint_every = checkpoint_every
+        self.engine = resolve_engine(engine)
+        self.annotation_store: Optional[AnnotationStore] = (
+            AnnotationStore() if annotation_cache else None
+        )
+        #: Stats of the most recent :meth:`commit` (None before the first).
+        self.last_stats: Optional[DiffStats] = None
 
     # -- writing ------------------------------------------------------------
 
@@ -73,12 +91,30 @@ class VersionStore:
         delta still advances the version, mirroring a crawler revisit).
         The stored content is normalized like :meth:`create`.
         """
-        current = self.repository.load_current(doc_id)
+        # readonly: the diff never mutates its old side (delta payloads
+        # are cloned out of it by the builder), so the repository can
+        # hand over its cached instance without a full-tree copy.
+        current = self.repository.load_current(doc_id, readonly=True)
         allocator = self.repository.load_allocator(doc_id)
+        base_version = self.repository.current_version(doc_id)
         working = new_document.clone(keep_xids=False)
         coalesce_text(working)
-        delta = diff(current, working, self.config, allocator=allocator)
-        delta.base_version = self.repository.current_version(doc_id)
+        # (doc_id, version) names immutable repository content, so it can
+        # stand in for the content hash: the old side hits the record the
+        # previous commit stored for its new side without either of them
+        # paying the content-key walk.
+        context = DiffContext(
+            config=self.config,
+            allocator=allocator,
+            annotation_store=self.annotation_store,
+            old_annotation_key=(doc_id, base_version),
+            new_annotation_key=(doc_id, base_version + 1),
+        )
+        delta, stats = self.engine.diff_with_stats(
+            current, working, context=context
+        )
+        self.last_stats = stats
+        delta.base_version = base_version
         delta.target_version = delta.base_version + 1
         self.repository.append(doc_id, delta, working, allocator)
         if (

@@ -1,0 +1,177 @@
+"""AnnotationStore semantics plus the commit-loop reuse regression.
+
+The regression that matters: turning the cache on must change *nothing*
+about the deltas a version store produces — only how fast it produces
+them.  Both keying modes are covered: content hashing (standalone diffs)
+and the ``(doc_id, version)`` identity hint (the version store).
+"""
+
+import pytest
+
+from repro.core import serialize_delta
+from repro.engine import AnnotationStore, DiffContext, get_engine
+from repro.simulator import (
+    GeneratorConfig,
+    SimulatorConfig,
+    generate_document,
+    simulate_changes,
+)
+from repro.versioning import DirectoryRepository, MemoryRepository, VersionStore
+from repro.xmlkit import parse
+
+
+def versions_chain(nodes=120, commits=4, doc_seed=21, sim_seed=22):
+    base = generate_document(GeneratorConfig(target_nodes=nodes, seed=doc_seed))
+    versions = []
+    current = base
+    for step in range(commits):
+        result = simulate_changes(
+            current, SimulatorConfig(0.05, 0.1, 0.05, 0.05, seed=sim_seed + step)
+        )
+        current = result.new_document
+        versions.append(current)
+    return base, versions
+
+
+class TestStoreSemantics:
+    def test_clone_is_a_content_hit(self):
+        store = AnnotationStore()
+        document = generate_document(GeneratorConfig(target_nodes=50, seed=1))
+        first = store.annotate(document)
+        second = store.annotate(document.clone())
+        assert store.hits == 1 and store.misses == 1
+        # reattached values equal the recomputed ones, bound to new nodes
+        assert sorted(first.signatures.values()) == sorted(
+            second.signatures.values()
+        )
+        assert first.total_weight == second.total_weight
+
+    def test_different_content_misses(self):
+        store = AnnotationStore()
+        store.annotate(parse("<a><b>x</b></a>"))
+        store.annotate(parse("<a><b>y</b></a>"))
+        assert store.misses == 2 and store.hits == 0
+
+    def test_flags_are_part_of_the_key(self):
+        store = AnnotationStore()
+        document = parse("<a><b>hello</b></a>")
+        store.annotate(document, log_text_weight=True)
+        store.annotate(document.clone(), log_text_weight=False)
+        assert store.misses == 2
+
+    def test_identity_hint_skips_content_walk(self):
+        store = AnnotationStore()
+        document = generate_document(GeneratorConfig(target_nodes=40, seed=2))
+        store.annotate(document, key=("doc", 1))
+        store.annotate(document.clone(), key=("doc", 1))
+        assert store.hits == 1 and store.misses == 1
+        # a different hint is a different entry even for equal content
+        store.annotate(document.clone(), key=("doc", 2))
+        assert store.misses == 2
+
+    def test_node_count_guard_falls_back_to_recompute(self):
+        store = AnnotationStore()
+        store.annotate(parse("<a><b>x</b></a>"), key=("doc", 1))
+        # same hint, structurally different content: the guard must refuse
+        # the cached record and recompute instead of mis-attaching
+        annotations = store.annotate(parse("<a><b>x</b><c/></a>"), key=("doc", 1))
+        assert annotations.node_count == 5  # document + a + b + text + c
+        assert store.hits == 0
+
+    def test_lru_eviction(self):
+        store = AnnotationStore(max_entries=1)
+        store.annotate(parse("<a>1</a>"))
+        store.annotate(parse("<a>2</a>"))
+        assert len(store) == 1 and store.evictions == 1
+        store.annotate(parse("<a>1</a>"))  # evicted: a miss again
+        assert store.misses == 3
+
+    def test_counters_reported_through_context(self):
+        counters = {}
+        store = AnnotationStore()
+        document = parse("<a><b>x</b></a>")
+        store.annotate(document, counters=counters)
+        store.annotate(document.clone(), counters=counters)
+        assert counters == {
+            "annotation_cache_misses": 1,
+            "annotation_cache_hits": 1,
+        }
+
+
+class TestEngineIntegration:
+    def test_buld_uses_store_from_context(self):
+        old, _ = versions_chain(nodes=60, commits=1)
+        store = AnnotationStore()
+        context = DiffContext(annotation_store=store)
+        get_engine("buld").diff_with_stats(
+            old.clone(keep_xids=False), old.clone(keep_xids=False), context=context
+        )
+        # identical sides: the second annotate call hits on the first's work
+        assert store.hits == 1 and store.misses == 1
+        assert context.counters["annotation_cache_hits"] == 1
+
+
+class TestCommitLoopRegression:
+    """Satellite: cached commits produce byte-identical deltas."""
+
+    def _chains(self, repository_factory):
+        base, versions = versions_chain()
+        chains = {}
+        for cached in (False, True):
+            store = VersionStore(
+                repository_factory(cached), annotation_cache=cached
+            )
+            store.create("doc", base)
+            for version in versions:
+                store.commit("doc", version)
+            chains[cached] = [
+                serialize_delta(delta) for delta in store.deltas("doc")
+            ]
+            assert store.verify_integrity("doc")
+            hits = store.last_stats.counters.get("annotation_cache_hits", 0)
+            assert (hits >= 1) == cached
+        return chains
+
+    def test_memory_repository_identical_deltas(self):
+        chains = self._chains(lambda cached: MemoryRepository())
+        assert chains[True] == chains[False]
+
+    def test_directory_repository_identical_deltas(self, tmp_path):
+        chains = self._chains(
+            lambda cached: DirectoryRepository(tmp_path / f"repo-{cached}")
+        )
+        assert chains[True] == chains[False]
+
+    def test_directory_cache_rolls_forward(self, tmp_path):
+        """The commit loop never re-parses current.xml after ``create``."""
+        import repro.versioning.repository as repository_module
+
+        base, versions = versions_chain(commits=2)
+        repo = DirectoryRepository(tmp_path / "repo")
+        store = VersionStore(repo, annotation_cache=True)
+        store.create("doc", base)
+
+        parses = []
+        original = repository_module.parse_file
+
+        def counting_parse(path, **kwargs):
+            parses.append(path)
+            return original(path, **kwargs)
+
+        repository_module.parse_file = counting_parse
+        try:
+            for version in versions:
+                store.commit("doc", version)
+        finally:
+            repository_module.parse_file = original
+        assert not [p for p in parses if str(p).endswith("current.xml")]
+
+    def test_readonly_load_shares_the_cached_instance(self, tmp_path):
+        base, versions = versions_chain(commits=1, nodes=30)
+        repo = DirectoryRepository(tmp_path / "repo")
+        store = VersionStore(repo, annotation_cache=True)
+        store.create("doc", base)
+        shared = repo.load_current("doc", readonly=True)
+        assert repo.load_current("doc", readonly=True) is shared
+        private = repo.load_current("doc")
+        assert private is not shared and private.deep_equal(shared)

@@ -1,0 +1,238 @@
+"""Engine-layer contract: every registered engine is a *correct* diff.
+
+Parity means: whatever matching an engine produces, the shared builder
+turns it into a delta that transforms old into new exactly — so all five
+engines round-trip on the simulator workloads, differ only in delta
+*quality*, and plug into every consumer interchangeably.
+"""
+
+import pytest
+
+from repro.core import apply_delta, diff
+from repro.engine import (
+    DiffContext,
+    EngineError,
+    MatcherEngine,
+    StageEvent,
+    available_engines,
+    get_engine,
+    register_matcher,
+    resolve_engine,
+)
+from repro.simulator import (
+    GeneratorConfig,
+    SimulatorConfig,
+    generate_document,
+    simulate_changes,
+)
+from repro.xmlkit import parse
+
+
+def scenario(doc_seed, sim_seed, nodes=90, **probabilities):
+    base = generate_document(GeneratorConfig(target_nodes=nodes, seed=doc_seed))
+    result = simulate_changes(
+        base, SimulatorConfig(seed=sim_seed, **probabilities)
+    )
+    return (
+        base.clone(keep_xids=False),
+        result.new_document.clone(keep_xids=False),
+    )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(available_engines()) >= {
+            "buld",
+            "diffmk",
+            "flat",
+            "ladiff",
+            "lu",
+        }
+
+    def test_get_engine_caches_instances(self):
+        assert get_engine("buld") is get_engine("buld")
+
+    def test_unknown_engine_lists_available(self):
+        with pytest.raises(EngineError) as error:
+            get_engine("nope")
+        assert "buld" in str(error.value)
+
+    def test_resolve_accepts_instances(self):
+        engine = get_engine("lu")
+        assert resolve_engine(engine) is engine
+        assert resolve_engine("lu") is engine
+
+
+class TestEngineParity:
+    """Satellite: apply(engine.diff(old, new), old) == new for every engine."""
+
+    @pytest.mark.parametrize("name", sorted({"buld", "lu", "ladiff", "diffmk", "flat"}))
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_round_trip_on_simulator_workload(self, name, seed):
+        old, new = scenario(seed, seed + 40)
+        delta = get_engine(name).diff(old, new)
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+    @pytest.mark.parametrize("name", sorted({"buld", "lu", "ladiff", "diffmk", "flat"}))
+    def test_identical_documents_empty_delta(self, name):
+        base = generate_document(GeneratorConfig(target_nodes=60, seed=7))
+        delta = get_engine(name).diff(
+            base.clone(keep_xids=False), base.clone(keep_xids=False)
+        )
+        assert delta.is_empty(), f"{name} found changes in identity"
+
+    def test_repro_diff_is_engine_shim(self):
+        old_a, new_a = scenario(4, 44)
+        old_b, new_b = scenario(4, 44)
+        from repro.core import serialize_delta
+
+        via_shim = diff(old_a, new_a)
+        via_engine = get_engine("buld").diff(old_b, new_b)
+        assert serialize_delta(via_shim) == serialize_delta(via_engine)
+
+    def test_engine_flag_through_shim(self):
+        old, new = scenario(5, 45)
+        delta = diff(old, new, engine="flat")
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+
+class TestStagePipeline:
+    def test_stage_order_is_execution_order(self):
+        old, new = scenario(6, 46)
+        _, stats = get_engine("buld").diff_with_stats(old, new)
+        assert stats.stage_order == [
+            "annotate",
+            "id-attributes",
+            "match-subtrees",
+            "propagate",
+            "build-delta",
+        ]
+        # the paper-numbered aliases stay available for the figures
+        assert set(stats.phase_seconds) == {
+            "phase1",
+            "phase2",
+            "phase3",
+            "phase4",
+            "phase5",
+        }
+        # ... but phase2 (annotate) executes before phase1 (ID attributes)
+        assert stats.stage_order.index("annotate") < stats.stage_order.index(
+            "id-attributes"
+        )
+
+    def test_skip_stages_ablation_still_round_trips(self):
+        old, new = scenario(8, 48)
+        context = DiffContext(
+            skip_stages=frozenset({"id-attributes", "propagate"})
+        )
+        delta, stats = get_engine("buld").diff_with_stats(
+            old, new, context=context
+        )
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+        assert stats.stage_seconds["propagate"] == 0.0
+
+    def test_required_stages_ignore_skip(self):
+        old, new = scenario(9, 49)
+        context = DiffContext(
+            skip_stages=frozenset({"annotate", "build-delta"})
+        )
+        delta, _ = get_engine("buld").diff_with_stats(old, new, context=context)
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+    def test_observers_see_every_stage(self):
+        old, new = scenario(10, 50)
+        events: list[StageEvent] = []
+        context = DiffContext(
+            observers=[events.append],
+            skip_stages=frozenset({"propagate"}),
+        )
+        get_engine("buld").diff_with_stats(old, new, context=context)
+        by_stage = {}
+        for event in events:
+            by_stage.setdefault(event.stage, []).append(event.status)
+        assert by_stage["annotate"] == ["start", "end"]
+        assert by_stage["propagate"] == ["skipped"]
+        assert by_stage["build-delta"] == ["start", "end"]
+
+    def test_stats_are_json_serializable(self):
+        import json
+
+        old, new = scenario(11, 51)
+        _, stats = get_engine("lu").diff_with_stats(old, new)
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["engine"] == "lu"
+        assert payload["stage_order"] == ["match", "build-delta"]
+
+
+class TestCustomMatcher:
+    def test_registered_matcher_round_trips(self):
+        class RootOnlyMatcher:
+            """Worst legal matcher: matches nothing below the roots."""
+
+            def match(self, old, new, context):
+                from repro.core.matching import Matching
+
+                matching = Matching()
+                matching.add(old, new)
+                context.count("root_only_runs")
+                return matching
+
+        register_matcher("root-only-test", RootOnlyMatcher())
+        try:
+            assert "root-only-test" in available_engines()
+            old, new = scenario(12, 52, nodes=40)
+            context = DiffContext()
+            delta, stats = get_engine("root-only-test").diff_with_stats(
+                old, new, context=context
+            )
+            assert apply_delta(delta, old, verify=True).deep_equal(new)
+            assert stats.counters.get("root_only_runs") == 1
+        finally:
+            from repro.engine import registry
+
+            registry._FACTORIES.pop("root-only-test", None)
+            registry._INSTANCES.pop("root-only-test", None)
+
+    def test_matcher_engine_adapter(self):
+        class SwapCaseMatcher:
+            def match(self, old, new, context):
+                from repro.core.matching import Matching
+
+                matching = Matching()
+                matching.add(old, new)
+                return matching
+
+        engine = MatcherEngine("adhoc", SwapCaseMatcher())
+        old = parse("<a><b>x</b></a>")
+        new = parse("<a><c>y</c></a>")
+        delta = engine.diff(old, new)
+        assert apply_delta(delta, old, verify=True).deep_equal(new)
+
+
+class TestTopLevelExports:
+    """Satellite: diff_with_stats / DiffStats on the public package."""
+
+    def test_public_surface(self):
+        import repro
+
+        assert callable(repro.diff_with_stats)
+        assert repro.DiffStats is not None
+        for name in (
+            "AnnotationStore",
+            "DiffContext",
+            "DiffEngine",
+            "available_engines",
+            "get_engine",
+            "register_engine",
+            "register_matcher",
+        ):
+            assert name in repro.__all__
+
+    def test_diff_with_stats_back_compat(self):
+        import repro
+
+        old = parse("<a><b>x</b></a>")
+        new = parse("<a><b>y</b></a>")
+        delta, stats = repro.diff_with_stats(old, new)
+        assert stats.engine == "buld"
+        assert apply_delta(delta, old, verify=True).deep_equal(new)

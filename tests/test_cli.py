@@ -101,6 +101,52 @@ class TestStats:
         assert "old nodes:" in out
         assert "phase3 seconds:" in out
         assert "delta bytes:" in out
+        assert "stage order:" in out
+
+    def test_stats_json(self, files, capsys):
+        import json
+
+        _, old, new = files
+        assert main(["stats", str(old), str(new), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "buld"
+        assert payload["stage_order"][0] == "annotate"
+        assert payload["delta_bytes"] > 0
+        assert set(payload["phase_seconds"]) == {
+            f"phase{i}" for i in range(1, 6)
+        }
+
+    def test_stats_engine_flag(self, files, capsys):
+        import json
+
+        _, old, new = files
+        assert main(
+            ["stats", str(old), str(new), "--engine", "lu", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "lu"
+        assert payload["stage_order"] == ["match", "build-delta"]
+
+
+class TestEngineFlag:
+    @pytest.mark.parametrize("engine", ["buld", "lu", "ladiff", "diffmk", "flat"])
+    def test_diff_engine_round_trips(self, files, engine, tmp_path):
+        _, old, new = files
+        delta = tmp_path / "delta.xml"
+        applied = tmp_path / "applied.xml"
+        assert main(
+            ["diff", str(old), str(new), "--engine", engine, "-o", str(delta)]
+        ) == 0
+        assert main(
+            ["apply", str(old), str(delta), "--verify", "-o", str(applied)]
+        ) == 0
+        assert parse(applied.read_text()).deep_equal(parse(new.read_text()))
+
+    def test_unknown_engine_rejected(self, files, capsys):
+        _, old, new = files
+        with pytest.raises(SystemExit):
+            main(["diff", str(old), str(new), "--engine", "nope"])
+        assert "invalid choice" in capsys.readouterr().err
 
 
 class TestNewSubcommands:
