@@ -25,6 +25,8 @@ The public surface is re-exported here; see the subpackages for the full API:
 - :mod:`repro.baselines` — Lu/Selkow, LaDiff, Zhang–Shasha, DiffMK, Unix diff.
 - :mod:`repro.versioning` — repository, version control, alerter, text index.
 - :mod:`repro.simulator` — document generators and the change simulator.
+- :mod:`repro.obs` — observability: tracing spans, metrics registry,
+  pipeline profiling hooks (see ``docs/observability.md``).
 """
 
 from repro.xmlkit import (
@@ -58,8 +60,9 @@ from repro.engine import (
     register_engine,
     register_matcher,
 )
+from repro.obs import MetricsRegistry, StageProfiler, Tracer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnnotationStore",
@@ -71,8 +74,11 @@ __all__ = [
     "DiffStats",
     "Document",
     "Element",
+    "MetricsRegistry",
     "ProcessingInstruction",
+    "StageProfiler",
     "Text",
+    "Tracer",
     "XmlParseError",
     "aggregate",
     "apply_backward",

@@ -10,6 +10,12 @@ Subcommands mirror the library's main capabilities:
 - ``generate``          — emit a synthetic document (generic or catalog).
 - ``simulate DOC``      — run the change simulator, emit the new version
   and/or the perfect delta.
+- ``obs render TRACE``  — pretty-print a saved JSON-lines trace.
+
+``diff``, ``stats`` and ``sitediff`` accept ``--trace FILE`` (write the
+run's span tree as JSON lines) and ``--metrics-out FILE`` (write the
+run's metrics; Prometheus text format by default, ``--metrics-format
+json`` for JSON).  See ``docs/observability.md``.
 
 All commands read/write XML on files or stdin/stdout (``-``).
 """
@@ -113,12 +119,48 @@ def _config_from_args(args) -> DiffConfig:
     ).validate()
 
 
+def _obs_from_args(args):
+    """(tracer, metrics) per the ``--trace`` / ``--metrics-out`` flags."""
+    tracer = metrics = None
+    if getattr(args, "trace", None):
+        from repro.obs import Tracer
+
+        tracer = Tracer(trace_memory=getattr(args, "trace_memory", False))
+    if getattr(args, "metrics_out", None):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    return tracer, metrics
+
+
+def _write_obs(args, tracer, metrics) -> None:
+    if tracer is not None:
+        _write(args.trace, tracer.to_jsonl())
+    if metrics is not None:
+        if args.metrics_format == "json":
+            _write(args.metrics_out, metrics.to_json() + "\n")
+        else:
+            _write(args.metrics_out, metrics.to_prometheus())
+
+
 def _cmd_diff(args) -> int:
     old = _load_document(args.old, args.keep_whitespace)
     new = _load_document(args.new, args.keep_whitespace)
-    delta = diff(old, new, _config_from_args(args), engine=args.engine)
+    tracer, metrics = _obs_from_args(args)
+    if tracer is None and metrics is None:
+        delta = diff(old, new, _config_from_args(args), engine=args.engine)
+    else:
+        delta, _ = diff_with_stats(
+            old,
+            new,
+            _config_from_args(args),
+            engine=args.engine,
+            tracer=tracer,
+            metrics=metrics,
+        )
     _write(args.output, serialize_delta(delta))
     _write_xidmap(new, args.new_xidmap)
+    _write_obs(args, tracer, metrics)
     return 0
 
 
@@ -151,9 +193,16 @@ def _cmd_invert(args) -> int:
 def _cmd_stats(args) -> int:
     old = _load_document(args.old, args.keep_whitespace)
     new = _load_document(args.new, args.keep_whitespace)
+    tracer, metrics = _obs_from_args(args)
     delta, stats = diff_with_stats(
-        old, new, _config_from_args(args), engine=args.engine
+        old,
+        new,
+        _config_from_args(args),
+        engine=args.engine,
+        tracer=tracer,
+        metrics=metrics,
     )
+    _write_obs(args, tracer, metrics)
     if args.json:
         payload = stats.to_dict()
         payload["delta_bytes"] = delta_byte_size(delta)
@@ -205,7 +254,11 @@ def _cmd_sitediff(args) -> int:
 
     old_snapshot = snapshot_from_directory(args.old_dir)
     new_snapshot = snapshot_from_directory(args.new_dir)
-    site_delta = diff_sites(old_snapshot, new_snapshot)
+    tracer, metrics = _obs_from_args(args)
+    site_delta = diff_sites(
+        old_snapshot, new_snapshot, tracer=tracer, metrics=metrics
+    )
+    _write_obs(args, tracer, metrics)
 
     lines = []
     for key in site_delta.added:
@@ -313,6 +366,20 @@ def _cmd_aggregate(args) -> int:
     return 0
 
 
+def _cmd_obs_render(args) -> int:
+    from repro.obs import load_trace, render_trace
+
+    roots = load_trace(_read(args.trace_file))
+    if not roots:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    _write(
+        args.output,
+        render_trace(roots, show_attrs=not args.no_attrs) + "\n",
+    )
+    return 0
+
+
 def _cmd_generate(args) -> int:
     if args.kind == "catalog":
         document = generate_catalog(
@@ -367,6 +434,32 @@ def build_parser() -> argparse.ArgumentParser:
             help="diff engine (default: buld)",
         )
 
+    def add_obs(sub):
+        sub.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help="write the run's span tree as JSON lines "
+                 "(render with 'obs render FILE')",
+        )
+        sub.add_argument(
+            "--trace-memory",
+            action="store_true",
+            help="also record tracemalloc peak memory per span (slower)",
+        )
+        sub.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="FILE",
+            help="write the run's metrics here",
+        )
+        sub.add_argument(
+            "--metrics-format",
+            choices=("prometheus", "json"),
+            default="prometheus",
+            help="metrics file format (default: prometheus text)",
+        )
+
     sub = subparsers.add_parser("diff", help="compute a delta")
     sub.add_argument("old")
     sub.add_argument("new")
@@ -379,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(needed to later revert from the new version)")
     add_common(sub)
     add_engine(sub)
+    add_obs(sub)
     sub.set_defaults(func=_cmd_diff)
 
     sub = subparsers.add_parser("apply", help="apply a delta forward")
@@ -419,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit machine-readable JSON instead of text")
     add_common(sub)
     add_engine(sub)
+    add_obs(sub)
     sub.set_defaults(func=_cmd_stats)
 
     sub = subparsers.add_parser(
@@ -431,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--deltas-dir", default=None,
                      help="write per-document delta files here")
     sub.add_argument("-o", "--output", default="-")
+    add_obs(sub)
     sub.set_defaults(func=_cmd_sitediff)
 
     sub = subparsers.add_parser(
@@ -486,6 +582,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("deltas", nargs="+")
     sub.add_argument("-o", "--output", default="-")
     sub.set_defaults(func=_cmd_aggregate)
+
+    sub = subparsers.add_parser(
+        "obs", help="observability utilities (trace rendering)"
+    )
+    obs_sub = sub.add_subparsers(dest="obs_command", required=True)
+    render = obs_sub.add_parser(
+        "render", help="pretty-print a JSON-lines trace as a span tree"
+    )
+    render.add_argument("trace_file", help="trace file written by --trace")
+    render.add_argument("--no-attrs", action="store_true",
+                        help="hide span attributes")
+    render.add_argument("-o", "--output", default="-")
+    render.set_defaults(func=_cmd_obs_render)
 
     sub = subparsers.add_parser("generate", help="generate a synthetic doc")
     sub.add_argument("--kind", choices=("generic", "catalog"),

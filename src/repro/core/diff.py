@@ -143,10 +143,38 @@ def diff_with_stats(
     *,
     allocator: Optional[XidAllocator] = None,
     engine: str = "buld",
+    tracer=None,
+    metrics=None,
 ) -> tuple[Delta, DiffStats]:
-    """Like :func:`diff` but also returns per-stage statistics."""
+    """Like :func:`diff` but also returns per-stage statistics.
+
+    Args:
+        tracer: Optional :class:`repro.obs.trace.Tracer`; the engine
+            emits one ``engine:<name>`` span wrapping one
+            ``stage:<name>`` span per pipeline stage.  Stage spans carry
+            the engine's own timing measurement, so the trace and the
+            returned ``DiffStats.stage_seconds`` agree exactly.
+        metrics: Optional :class:`repro.obs.metrics.MetricsRegistry`; a
+            :class:`repro.obs.profiler.StageProfiler` observer feeds
+            ``repro_stage_seconds`` / ``repro_stages_total`` and
+            ``repro_diffs_total`` is incremented per run.
+    """
+    from repro.engine.context import DiffContext
     from repro.engine.registry import resolve_engine
 
-    return resolve_engine(engine).diff_with_stats(
-        old_document, new_document, config, allocator=allocator
+    context = None
+    if tracer is not None or metrics is not None:
+        context = DiffContext(tracer=tracer)
+        if metrics is not None:
+            from repro.obs.profiler import StageProfiler
+
+            StageProfiler(metrics=metrics).install(context)
+    result = resolve_engine(engine).diff_with_stats(
+        old_document, new_document, config, allocator=allocator,
+        context=context,
     )
+    if metrics is not None:
+        metrics.counter(
+            "repro_diffs_total", help="Diff runs completed."
+        ).inc(engine=result[1].engine)
+    return result

@@ -94,9 +94,17 @@ class AnnotationStore:
     Attributes:
         max_entries: LRU bound (each entry holds two lists of node size).
         hits / misses / evictions: Lifetime statistics.
+
+    Args:
+        max_entries: LRU bound.
+        metrics: Optional :class:`repro.obs.metrics.MetricsRegistry`;
+            when given, the store keeps
+            ``repro_annotation_cache_{hits,misses,evictions}_total``
+            counters and a ``repro_annotation_cache_entries`` gauge in
+            step with its lifetime statistics.
     """
 
-    def __init__(self, max_entries: int = 128):
+    def __init__(self, max_entries: int = 128, metrics=None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
@@ -104,6 +112,28 @@ class AnnotationStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        if metrics is not None:
+            self._hits_total = metrics.counter(
+                "repro_annotation_cache_hits_total",
+                help="Annotation-store lookups served from cache.",
+            )
+            self._misses_total = metrics.counter(
+                "repro_annotation_cache_misses_total",
+                help="Annotation-store lookups that recomputed.",
+            )
+            self._evictions_total = metrics.counter(
+                "repro_annotation_cache_evictions_total",
+                help="Annotation-store LRU evictions.",
+            )
+            self._entries_gauge = metrics.gauge(
+                "repro_annotation_cache_entries",
+                help="Annotation-store resident entries.",
+            )
+        else:
+            self._hits_total = None
+            self._misses_total = None
+            self._evictions_total = None
+            self._entries_gauge = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -212,6 +242,8 @@ class AnnotationStore:
             annotations = record.reattach(document)
             if annotations is not None:
                 self.hits += 1
+                if self._hits_total is not None:
+                    self._hits_total.inc()
                 self._records.move_to_end(key)
                 if counters is not None:
                     counters["annotation_cache_hits"] = (
@@ -219,6 +251,8 @@ class AnnotationStore:
                     )
                 return annotations
         self.misses += 1
+        if self._misses_total is not None:
+            self._misses_total.inc()
         if counters is not None:
             counters["annotation_cache_misses"] = (
                 counters.get("annotation_cache_misses", 0) + 1
@@ -231,6 +265,10 @@ class AnnotationStore:
         while len(self._records) > self.max_entries:
             self._records.popitem(last=False)
             self.evictions += 1
+            if self._evictions_total is not None:
+                self._evictions_total.inc()
+        if self._entries_gauge is not None:
+            self._entries_gauge.set(len(self._records))
         return annotations
 
     def __repr__(self):

@@ -164,23 +164,55 @@ class DiffEngine:
 
         self._prepare_xids(old_document, context)
         run = EngineRun(old=old_document, new=new_document, context=context)
-        for order, stage in enumerate(self.stages(run)):
-            if stage.name in context.skip_stages and not stage.required:
-                context.timings.append(
-                    StageTiming(
-                        stage.name, order, 0.0, stage.phase_key, skipped=True
-                    )
-                )
-                context.emit(StageEvent(stage.name, order, "skipped"))
-                continue
-            context.emit(StageEvent(stage.name, order, "start"))
-            started = time.perf_counter()
-            stage.run(run)
-            elapsed = time.perf_counter() - started
-            context.timings.append(
-                StageTiming(stage.name, order, elapsed, stage.phase_key)
+        # The tracer is optional instrumentation; ``None`` keeps this
+        # loop on the seed's exact path (one perf_counter pair per
+        # stage).  With a tracer, each stage span is closed with that
+        # same measurement, so trace, timings and events can never
+        # disagree (the single-source-of-truth contract — see
+        # repro.obs.profiler).
+        tracer = context.tracer
+        engine_span = None
+        if tracer is not None:
+            engine_span = tracer.start_span(
+                f"engine:{self.name}", engine=self.name
             )
-            context.emit(StageEvent(stage.name, order, "end", elapsed))
+        try:
+            for order, stage in enumerate(self.stages(run)):
+                if stage.name in context.skip_stages and not stage.required:
+                    context.timings.append(
+                        StageTiming(
+                            stage.name, order, 0.0, stage.phase_key,
+                            skipped=True,
+                        )
+                    )
+                    context.emit(StageEvent(stage.name, order, "skipped"))
+                    continue
+                context.emit(StageEvent(stage.name, order, "start"))
+                stage_span = None
+                if tracer is not None:
+                    stage_span = tracer.start_span(
+                        f"stage:{stage.name}", stage=stage.name, order=order
+                    )
+                started = time.perf_counter()
+                try:
+                    stage.run(run)
+                finally:
+                    elapsed = time.perf_counter() - started
+                    if stage_span is not None:
+                        tracer.end_span(stage_span, duration=elapsed)
+                context.timings.append(
+                    StageTiming(stage.name, order, elapsed, stage.phase_key)
+                )
+                context.emit(StageEvent(stage.name, order, "end", elapsed))
+        finally:
+            if engine_span is not None:
+                engine_span.attrs["old_nodes"] = (
+                    run.old_nodes or run.old.subtree_size()
+                )
+                engine_span.attrs["new_nodes"] = (
+                    run.new_nodes or run.new.subtree_size()
+                )
+                tracer.end_span(engine_span)
         if run.delta is None:
             raise EngineError(
                 f"engine {self.name!r}: pipeline finished without a delta"

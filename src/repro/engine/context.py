@@ -25,6 +25,7 @@ figure-by-figure comparability.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -33,6 +34,8 @@ from repro.core.xid import XidAllocator
 from repro.engine.annotations import AnnotationStore
 
 __all__ = ["DiffContext", "StageEvent", "StageTiming"]
+
+logger = logging.getLogger("repro.engine")
 
 
 @dataclass(frozen=True)
@@ -96,6 +99,13 @@ class DiffContext:
             (e.g. ``annotation_cache_hits``); copied onto the final
             :class:`~repro.core.diff.DiffStats`.
         timings: Stage records in execution order, filled by the engine.
+        tracer: Optional :class:`repro.obs.trace.Tracer`.  When set, the
+            engine opens one ``engine:<name>`` span around the pipeline
+            and one ``stage:<name>`` span per stage, each stage span's
+            duration being the engine's *single* ``perf_counter``
+            measurement — the same float recorded in ``timings`` and on
+            the ``end`` :class:`StageEvent`.  ``None`` (the default)
+            costs one pointer comparison per stage.
     """
 
     config: Optional[DiffConfig] = None
@@ -107,15 +117,30 @@ class DiffContext:
     observers: list[Callable[[StageEvent], None]] = field(default_factory=list)
     counters: dict[str, float] = field(default_factory=dict)
     timings: list[StageTiming] = field(default_factory=list)
+    tracer: Optional[object] = None
 
     def count(self, key: str, amount: float = 1) -> None:
         """Increment a named counter."""
         self.counters[key] = self.counters.get(key, 0) + amount
 
     def emit(self, event: StageEvent) -> None:
-        """Deliver an event to every observer (in registration order)."""
+        """Deliver an event to every observer (in registration order).
+
+        Observers are instrumentation, not participants: one that raises
+        must not abort the diff (a broken progress bar should never cost
+        a commit).  Exceptions are logged with a traceback and swallowed;
+        the remaining observers still run.
+        """
         for observer in self.observers:
-            observer(event)
+            try:
+                observer(event)
+            except Exception:
+                logger.exception(
+                    "observer %r failed on %s/%s; continuing",
+                    observer,
+                    event.stage,
+                    event.status,
+                )
 
     def stage_names(self) -> list[str]:
         """Names of the stages run so far, in execution order."""

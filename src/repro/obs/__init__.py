@@ -1,0 +1,60 @@
+"""repro.obs — observability: tracing spans, metrics, profiling hooks.
+
+Three small, stdlib-only pieces (see ``docs/observability.md`` for the
+full span/metric catalogue and how each maps onto the paper's figures):
+
+- :mod:`repro.obs.trace` — :class:`Tracer` produces nested spans (wall
+  and CPU time, optional ``tracemalloc`` peak) with a JSON-lines
+  exporter, :func:`load_trace`, and the :func:`render_trace` tree view
+  behind ``xydiff obs render``.  :data:`NULL_TRACER` is the
+  zero-overhead default.
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` holds counters,
+  gauges and fixed-bucket histograms, exported as JSON or Prometheus
+  text format.
+- :mod:`repro.obs.profiler` — :class:`StageProfiler` subscribes to the
+  engine pipeline's :class:`~repro.engine.context.StageEvent` stream and
+  converts stages into spans and histogram samples without re-timing
+  anything (the engine's one measurement is the single source of truth).
+
+Quick profile of a diff::
+
+    from repro import diff_with_stats, parse
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    delta, stats = diff_with_stats(old, new, tracer=tracer, metrics=metrics)
+    print(tracer.render())          # nested span tree with timings
+    print(metrics.to_prometheus())  # scrape-ready text format
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profiler import StageProfiler
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    load_trace,
+    render_trace,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "StageProfiler",
+    "Tracer",
+    "load_trace",
+    "render_trace",
+]

@@ -1,0 +1,138 @@
+"""StageProfiler: turn pipeline :class:`StageEvent` streams into telemetry.
+
+The engine layer already broadcasts a :class:`~repro.engine.context.
+StageEvent` around every pipeline stage.  A :class:`StageProfiler` is an
+observer for that stream that produces, with **no timing of its own**:
+
+- a histogram sample per completed stage
+  (``repro_stage_seconds{stage=...}``) and a status counter
+  (``repro_stages_total{stage=...,status=ok|skipped}``) on a
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+- optionally, one span per stage on a :class:`~repro.obs.trace.Tracer`,
+  for pipelines that do not trace natively.
+
+Single source of truth
+----------------------
+The engine measures each stage exactly once (one ``perf_counter`` pair
+in :meth:`DiffEngine.diff_with_stats`) and publishes that number on the
+``end`` event, in ``DiffContext.timings``, and on the stage span it
+opens when ``DiffContext.tracer`` is set.  The profiler *reuses* the
+event's ``seconds`` — the span it closes is given ``duration=event.
+seconds`` verbatim, and the histogram observes the same float.  A trace,
+``DiffStats.stage_seconds`` and the metrics therefore always agree
+bit-for-bit; nothing re-times anything (the regression test
+``tests/obs/test_profiler.py`` pins this).
+
+Because the engine already emits native spans when the run's context
+carries a tracer, attach a tracer *either* on the context (preferred —
+spans nest under the caller's open span) *or* on the profiler (for
+foreign ``StageEvent`` sources), not both, or each stage appears twice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.context import StageEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["StageProfiler"]
+
+#: Histogram buckets for stage latencies (seconds).  Stages are the
+#: sub-spans of a diff, so the range starts an order of magnitude below
+#: the default request buckets.
+STAGE_BUCKETS = (
+    0.00001,
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+)
+
+
+class StageProfiler:
+    """Observer converting stage events into spans and histogram samples.
+
+    Args:
+        metrics: Registry receiving ``repro_stage_seconds`` (histogram)
+            and ``repro_stages_total`` (counter).  ``None`` disables the
+            metrics side.
+        tracer: Tracer receiving one ``stage:<name>`` span per completed
+            stage.  ``None`` disables the tracing side (use this mode
+            when the run's :class:`DiffContext` already carries a tracer
+            — see the module docstring).
+
+    The profiler is reusable across runs (it keeps no per-run state
+    besides the currently open span stack) but, like the tracer, is
+    thread-compatible rather than thread-safe.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.metrics = metrics
+        self.tracer = tracer
+        self._open: list[tuple[str, Optional[Span]]] = []
+        if metrics is not None:
+            self.stage_seconds = metrics.histogram(
+                "repro_stage_seconds",
+                help="Wall-clock seconds per pipeline stage.",
+                unit="seconds",
+                buckets=STAGE_BUCKETS,
+            )
+            self.stages_total = metrics.counter(
+                "repro_stages_total",
+                help="Pipeline stages executed, by terminal status.",
+            )
+        else:
+            self.stage_seconds = None
+            self.stages_total = None
+
+    def install(self, context) -> "StageProfiler":
+        """Append this profiler to ``context.observers``; returns self."""
+        context.observers.append(self)
+        return self
+
+    def __call__(self, event: StageEvent) -> None:
+        if event.status == "start":
+            span = None
+            if self.tracer is not None:
+                span = self.tracer.start_span(
+                    f"stage:{event.stage}", stage=event.stage, order=event.order
+                )
+            self._open.append((event.stage, span))
+        elif event.status == "end":
+            # Unwind to the matching start; an exception inside a stage
+            # can leave opens dangling (no end event is emitted for a
+            # failed stage), so be tolerant of mismatches.
+            while self._open:
+                name, span = self._open.pop()
+                if span is not None and self.tracer is not None:
+                    self.tracer.end_span(
+                        span,
+                        duration=event.seconds if name == event.stage else 0.0,
+                    )
+                if name == event.stage:
+                    break
+            if self.stage_seconds is not None:
+                self.stage_seconds.observe(event.seconds, stage=event.stage)
+                self.stages_total.inc(stage=event.stage, status="ok")
+        elif event.status == "skipped":
+            if self.stages_total is not None:
+                self.stages_total.inc(stage=event.stage, status="skipped")
+
+    def __repr__(self):
+        return (
+            f"<StageProfiler metrics={self.metrics is not None} "
+            f"tracer={self.tracer is not None}>"
+        )

@@ -186,11 +186,20 @@ class DirectoryRepository(Repository):
     XID labels, ID attributes) still matches it; an out-of-band edit to
     ``current.xml`` under an unchanged metadata file is the one change
     the cache cannot see.
+
+    Args:
+        base_path: Root directory of the store (created if missing).
+        tracer: Optional :class:`repro.obs.trace.Tracer`; the disk-bound
+            operations become ``repo.load-current`` (with a
+            ``cache_hit`` attribute) and ``repo.append`` spans, nesting
+            under whatever span the caller has open (a version store's
+            ``store.commit``).
     """
 
-    def __init__(self, base_path):
+    def __init__(self, base_path, tracer=None):
         self.base_path = os.fspath(base_path)
         os.makedirs(self.base_path, exist_ok=True)
+        self.tracer = tracer
         self._current_cache: dict[str, tuple[dict, Document]] = {}
 
     # -- paths ---------------------------------------------------------------
@@ -262,20 +271,31 @@ class DirectoryRepository(Repository):
         return int(self._load_meta(doc_id)["current_version"])
 
     def load_current(self, doc_id: str, readonly: bool = False) -> Document:
-        self._check_exists(doc_id)
-        meta = self._load_meta(doc_id)
-        cached = self._current_cache.get(doc_id)
-        if cached is None or cached[0] != meta:
-            document = parse_file(
-                self._current_path(doc_id), strip_whitespace=False
-            )
-            document.id_attributes = {
-                tuple(pair) for pair in meta.get("id_attributes", [])
-            }
-            _restore_xids(document, meta)
-            cached = (meta, document)
-            self._current_cache[doc_id] = cached
-        return cached[1] if readonly else cached[1].clone()
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span("repo.load-current", doc_id=doc_id)
+        try:
+            self._check_exists(doc_id)
+            meta = self._load_meta(doc_id)
+            cached = self._current_cache.get(doc_id)
+            if span is not None:
+                span.attrs["cache_hit"] = bool(
+                    cached is not None and cached[0] == meta
+                )
+            if cached is None or cached[0] != meta:
+                document = parse_file(
+                    self._current_path(doc_id), strip_whitespace=False
+                )
+                document.id_attributes = {
+                    tuple(pair) for pair in meta.get("id_attributes", [])
+                }
+                _restore_xids(document, meta)
+                cached = (meta, document)
+                self._current_cache[doc_id] = cached
+            return cached[1] if readonly else cached[1].clone()
+        finally:
+            if span is not None:
+                self.tracer.end_span(span)
 
     def load_allocator(self, doc_id: str) -> XidAllocator:
         return XidAllocator(int(self._load_meta(doc_id)["next_xid"]))
@@ -290,17 +310,26 @@ class DirectoryRepository(Repository):
         return delta_from_document(parse_file(path, strip_whitespace=False))
 
     def append(self, doc_id, delta, new_document, allocator):
-        meta = self._load_meta(doc_id)
-        version = int(meta["current_version"])
-        write_file(
-            delta_to_document(delta), self._delta_path(doc_id, version)
-        )
-        write_file(new_document, self._current_path(doc_id))
-        meta["current_version"] = version + 1
-        meta["next_xid"] = allocator.next_xid
-        meta["xid_labels"] = _collect_xids(new_document)
-        self._store_meta(doc_id, meta)
-        self._current_cache[doc_id] = (meta, new_document.clone())
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span("repo.append", doc_id=doc_id)
+        try:
+            meta = self._load_meta(doc_id)
+            version = int(meta["current_version"])
+            if span is not None:
+                span.attrs["base_version"] = version
+            write_file(
+                delta_to_document(delta), self._delta_path(doc_id, version)
+            )
+            write_file(new_document, self._current_path(doc_id))
+            meta["current_version"] = version + 1
+            meta["next_xid"] = allocator.next_xid
+            meta["xid_labels"] = _collect_xids(new_document)
+            self._store_meta(doc_id, meta)
+            self._current_cache[doc_id] = (meta, new_document.clone())
+        finally:
+            if span is not None:
+                self.tracer.end_span(span)
 
     # -- snapshot checkpoints ---------------------------------------------------
 

@@ -121,29 +121,73 @@ def diff_sites(
     old_snapshot: SiteSnapshot,
     new_snapshot: SiteSnapshot,
     config: Optional[DiffConfig] = None,
+    *,
+    tracer=None,
+    metrics=None,
 ) -> SiteDelta:
     """Compute the site delta between two snapshots.
 
     Documents are matched by key; matched pairs are diffed with BULD.
     The input documents receive XIDs as a side effect, exactly as
     :func:`repro.core.diff.diff` documents.
+
+    Args:
+        tracer: Optional :class:`repro.obs.trace.Tracer`; the whole run
+            becomes one ``sitediff`` span (document counts as
+            attributes) containing a ``sitediff.doc`` span per diffed
+            pair, each nesting the engine's stage spans — the §6.2
+            site-snapshot measurement as a trace.
+        metrics: Optional :class:`repro.obs.metrics.MetricsRegistry`;
+            per-document diffs feed the shared stage histograms and
+            ``repro_diffs_total``.
     """
     if config is None:
         config = DiffConfig()
     result = SiteDelta()
-    old_keys = set(old_snapshot.keys())
-    new_keys = set(new_snapshot.keys())
-    result.added = sorted(new_keys - old_keys)
-    result.removed = sorted(old_keys - new_keys)
-    for key in sorted(old_keys & new_keys):
-        old_document = old_snapshot.get(key)
-        new_document = new_snapshot.get(key)
-        if old_document.deep_equal(new_document):
-            result.unchanged.append(key)
-            continue
-        delta = diff(old_document, new_document, config)
-        if delta.is_empty():
-            result.unchanged.append(key)
-        else:
-            result.changed[key] = delta
+    site_span = None
+    if tracer is not None:
+        site_span = tracer.start_span(
+            "sitediff",
+            old_documents=len(old_snapshot),
+            new_documents=len(new_snapshot),
+        )
+    try:
+        old_keys = set(old_snapshot.keys())
+        new_keys = set(new_snapshot.keys())
+        result.added = sorted(new_keys - old_keys)
+        result.removed = sorted(old_keys - new_keys)
+        for key in sorted(old_keys & new_keys):
+            old_document = old_snapshot.get(key)
+            new_document = new_snapshot.get(key)
+            if old_document.deep_equal(new_document):
+                result.unchanged.append(key)
+                continue
+            if tracer is None and metrics is None:
+                delta = diff(old_document, new_document, config)
+            else:
+                from contextlib import nullcontext
+
+                from repro.core.diff import diff_with_stats
+
+                doc_span = (
+                    tracer.span("sitediff.doc", key=key)
+                    if tracer is not None
+                    else nullcontext()
+                )
+                with doc_span:
+                    delta, _ = diff_with_stats(
+                        old_document,
+                        new_document,
+                        config,
+                        tracer=tracer,
+                        metrics=metrics,
+                    )
+            if delta.is_empty():
+                result.unchanged.append(key)
+            else:
+                result.changed[key] = delta
+    finally:
+        if site_span is not None:
+            site_span.attrs["changed"] = len(result.changed)
+            tracer.end_span(site_span)
     return result

@@ -45,6 +45,17 @@ class VersionStore:
             content in a previous commit — the common crawler case where
             the stored current version is re-annotated on every revisit.
             Only the BULD engine consults it.
+        tracer: Optional :class:`repro.obs.trace.Tracer`.  Every commit
+            becomes a ``store.commit`` span whose children are the
+            engine's ``engine:<name>``/``stage:<name>`` spans; ``create``
+            becomes ``store.create``.  ``None`` (the default) keeps the
+            commit path free of tracing work.
+        metrics: Optional :class:`repro.obs.metrics.MetricsRegistry`.
+            The store counts commits (``repro_commits_total``), feeds
+            stage latencies through a
+            :class:`~repro.obs.profiler.StageProfiler`, and hands the
+            registry to its :class:`AnnotationStore` for hit/miss/
+            eviction counters.
     """
 
     def __init__(
@@ -55,6 +66,8 @@ class VersionStore:
         checkpoint_every: Optional[int] = None,
         engine: str | DiffEngine = "buld",
         annotation_cache: bool = True,
+        tracer=None,
+        metrics=None,
     ):
         self.repository = repository if repository is not None else MemoryRepository()
         self.config = config or DiffConfig()
@@ -63,8 +76,19 @@ class VersionStore:
             raise ValueError("checkpoint_every must be >= 1")
         self.checkpoint_every = checkpoint_every
         self.engine = resolve_engine(engine)
+        self.tracer = tracer
+        self.metrics = metrics
+        self._profiler = None
+        self._commits_total = None
+        if metrics is not None:
+            from repro.obs.profiler import StageProfiler
+
+            self._profiler = StageProfiler(metrics=metrics)
+            self._commits_total = metrics.counter(
+                "repro_commits_total", help="Version-store commits."
+            )
         self.annotation_store: Optional[AnnotationStore] = (
-            AnnotationStore() if annotation_cache else None
+            AnnotationStore(metrics=metrics) if annotation_cache else None
         )
         #: Stats of the most recent :meth:`commit` (None before the first).
         self.last_stats: Optional[DiffStats] = None
@@ -78,10 +102,17 @@ class VersionStore:
         (adjacent text siblings coalesce — they could not survive the
         repository's serialization round trip anyway).
         """
-        working = document.clone(keep_xids=False)
-        coalesce_text(working)
-        allocator = assign_initial_xids(working)
-        self.repository.create(doc_id, working, allocator)
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span("store.create", doc_id=doc_id)
+        try:
+            working = document.clone(keep_xids=False)
+            coalesce_text(working)
+            allocator = assign_initial_xids(working)
+            self.repository.create(doc_id, working, allocator)
+        finally:
+            if span is not None:
+                self.tracer.end_span(span)
         return 1
 
     def commit(self, doc_id: str, new_document: Document) -> Delta:
@@ -91,41 +122,55 @@ class VersionStore:
         delta still advances the version, mirroring a crawler revisit).
         The stored content is normalized like :meth:`create`.
         """
-        # readonly: the diff never mutates its old side (delta payloads
-        # are cloned out of it by the builder), so the repository can
-        # hand over its cached instance without a full-tree copy.
-        current = self.repository.load_current(doc_id, readonly=True)
-        allocator = self.repository.load_allocator(doc_id)
-        base_version = self.repository.current_version(doc_id)
-        working = new_document.clone(keep_xids=False)
-        coalesce_text(working)
-        # (doc_id, version) names immutable repository content, so it can
-        # stand in for the content hash: the old side hits the record the
-        # previous commit stored for its new side without either of them
-        # paying the content-key walk.
-        context = DiffContext(
-            config=self.config,
-            allocator=allocator,
-            annotation_store=self.annotation_store,
-            old_annotation_key=(doc_id, base_version),
-            new_annotation_key=(doc_id, base_version + 1),
-        )
-        delta, stats = self.engine.diff_with_stats(
-            current, working, context=context
-        )
-        self.last_stats = stats
-        delta.base_version = base_version
-        delta.target_version = delta.base_version + 1
-        self.repository.append(doc_id, delta, working, allocator)
-        if (
-            self.checkpoint_every is not None
-            and delta.target_version % self.checkpoint_every == 0
-        ):
-            self.repository.store_snapshot(
-                doc_id, delta.target_version, working
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span("store.commit", doc_id=doc_id)
+        try:
+            # readonly: the diff never mutates its old side (delta payloads
+            # are cloned out of it by the builder), so the repository can
+            # hand over its cached instance without a full-tree copy.
+            current = self.repository.load_current(doc_id, readonly=True)
+            allocator = self.repository.load_allocator(doc_id)
+            base_version = self.repository.current_version(doc_id)
+            if span is not None:
+                span.attrs["base_version"] = base_version
+            working = new_document.clone(keep_xids=False)
+            coalesce_text(working)
+            # (doc_id, version) names immutable repository content, so it
+            # can stand in for the content hash: the old side hits the
+            # record the previous commit stored for its new side without
+            # either of them paying the content-key walk.
+            context = DiffContext(
+                config=self.config,
+                allocator=allocator,
+                annotation_store=self.annotation_store,
+                old_annotation_key=(doc_id, base_version),
+                new_annotation_key=(doc_id, base_version + 1),
+                tracer=self.tracer,
             )
-        if self.on_commit is not None:
-            self.on_commit(doc_id, delta, working)
+            if self._profiler is not None:
+                self._profiler.install(context)
+            delta, stats = self.engine.diff_with_stats(
+                current, working, context=context
+            )
+            self.last_stats = stats
+            delta.base_version = base_version
+            delta.target_version = delta.base_version + 1
+            self.repository.append(doc_id, delta, working, allocator)
+            if self._commits_total is not None:
+                self._commits_total.inc(engine=stats.engine)
+            if (
+                self.checkpoint_every is not None
+                and delta.target_version % self.checkpoint_every == 0
+            ):
+                self.repository.store_snapshot(
+                    doc_id, delta.target_version, working
+                )
+            if self.on_commit is not None:
+                self.on_commit(doc_id, delta, working)
+        finally:
+            if span is not None:
+                self.tracer.end_span(span)
         return delta
 
     # -- reading ------------------------------------------------------------

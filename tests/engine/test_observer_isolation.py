@@ -1,0 +1,82 @@
+"""Observers are instrumentation: one that raises must not abort the diff."""
+
+import logging
+
+import pytest
+
+from repro import parse
+from repro.core.apply import apply_delta
+from repro.core.deltaxml import serialize_delta
+from repro.engine import DiffContext, get_engine
+from repro.engine.context import StageEvent
+
+OLD = "<doc><a>1</a><b>2</b></doc>"
+NEW = "<doc><a>1</a><b>3</b><c>4</c></doc>"
+
+
+class _Exploding:
+    """Observer that raises on every event."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, event):
+        self.calls += 1
+        raise RuntimeError("observer bug")
+
+
+class TestObserverErrorIsolation:
+    def test_raising_observer_does_not_abort_the_diff(self):
+        observer = _Exploding()
+        context = DiffContext(observers=[observer])
+        old, new = parse(OLD), parse(NEW)
+        delta, stats = get_engine("buld").diff_with_stats(
+            old, new, context=context
+        )
+        assert observer.calls > 0  # it really was invoked (and raised)
+        assert stats.stage_seconds  # timings survived
+        assert apply_delta(delta, old).deep_equal(new)  # diff is correct
+
+    def test_failure_is_logged_with_traceback(self, caplog):
+        context = DiffContext(observers=[_Exploding()])
+        with caplog.at_level(logging.ERROR, logger="repro.engine"):
+            get_engine("buld").diff_with_stats(
+                parse(OLD), parse(NEW), context=context
+            )
+        failures = [
+            record
+            for record in caplog.records
+            if "observer" in record.getMessage()
+        ]
+        assert failures
+        assert any(
+            record.exc_info and record.exc_info[0] is RuntimeError
+            for record in failures
+        )
+
+    def test_later_observers_still_run(self):
+        events = []
+        context = DiffContext(
+            observers=[_Exploding(), events.append]
+        )
+        get_engine("buld").diff_with_stats(
+            parse(OLD), parse(NEW), context=context
+        )
+        assert events  # the healthy observer saw the whole stream
+        assert {event.status for event in events} >= {"start", "end"}
+
+    def test_raising_observer_same_delta_as_clean_run(self):
+        clean = get_engine("buld").diff(parse(OLD), parse(NEW))
+        noisy = get_engine("buld").diff(
+            parse(OLD),
+            parse(NEW),
+            context=DiffContext(observers=[_Exploding()]),
+        )
+        assert serialize_delta(clean) == serialize_delta(noisy)
+
+    def test_emit_delivers_events_directly(self):
+        seen = []
+        context = DiffContext(observers=[seen.append])
+        event = StageEvent("annotate", 0, "start")
+        context.emit(event)
+        assert seen == [event]

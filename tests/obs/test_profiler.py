@@ -1,0 +1,178 @@
+"""StageProfiler + the single-source-of-truth timing contract.
+
+The engine measures each pipeline stage exactly once; the trace spans,
+the ``end`` StageEvents, ``DiffStats.stage_seconds`` and the profiler's
+histogram samples must all carry that same float.  These tests pin the
+contract with exact (bitwise) float equality — any component that starts
+re-timing stages on its own will break them.
+"""
+
+import pytest
+
+from repro import MetricsRegistry, StageProfiler, Tracer, diff_with_stats, parse
+from repro.engine import DiffContext, get_engine
+from repro.engine.context import StageEvent
+
+OLD = (
+    "<site><page><title>one</title><body>alpha beta</body></page>"
+    "<page><title>two</title><body>gamma</body></page></site>"
+)
+NEW = (
+    "<site><page><title>one</title><body>alpha beta gamma</body></page>"
+    "<page><title>three</title><body>delta</body></page></site>"
+)
+
+BULD_STAGES = [
+    "annotate",
+    "id-attributes",
+    "match-subtrees",
+    "propagate",
+    "build-delta",
+]
+
+
+def _stage_spans(tracer):
+    """{stage: span} from the engine root span's children."""
+    (engine_span,) = tracer.roots
+    return {span.attrs["stage"]: span for span in engine_span.children}
+
+
+class TestEngineNativeSpans:
+    def test_engine_span_wraps_stage_spans(self):
+        tracer = Tracer()
+        diff_with_stats(parse(OLD), parse(NEW), tracer=tracer)
+        (engine_span,) = tracer.roots
+        assert engine_span.name == "engine:buld"
+        assert engine_span.attrs["engine"] == "buld"
+        assert engine_span.attrs["old_nodes"] > 0
+        assert [span.name for span in engine_span.children] == [
+            f"stage:{name}" for name in BULD_STAGES
+        ]
+
+    def test_stage_spans_equal_stats_exactly(self):
+        """Regression: stats are the span data, not a second timing."""
+        tracer = Tracer()
+        _, stats = diff_with_stats(parse(OLD), parse(NEW), tracer=tracer)
+        spans = _stage_spans(tracer)
+        assert set(spans) == set(stats.stage_seconds)
+        for stage, seconds in stats.stage_seconds.items():
+            assert spans[stage].duration == seconds  # bitwise equal
+
+    def test_stage_spans_sum_close_to_engine_total(self):
+        tracer = Tracer()
+        diff_with_stats(parse(OLD), parse(NEW), tracer=tracer)
+        (engine_span,) = tracer.roots
+        stage_sum = sum(span.duration for span in engine_span.children)
+        assert stage_sum <= engine_span.duration
+        # the pipeline loop itself is noise next to the stages
+        assert stage_sum > 0
+
+    def test_no_tracer_no_spans_no_context_field_needed(self):
+        _, stats = diff_with_stats(parse(OLD), parse(NEW))
+        assert stats.stage_seconds  # timing still works without tracing
+
+
+class TestProfilerMetrics:
+    def test_histogram_and_counter_fed_per_stage(self):
+        metrics = MetricsRegistry()
+        _, stats = diff_with_stats(parse(OLD), parse(NEW), metrics=metrics)
+        histogram = metrics.get("repro_stage_seconds")
+        counter = metrics.get("repro_stages_total")
+        for stage in BULD_STAGES:
+            assert histogram.sample_count(stage=stage) == 1
+            assert histogram.sample_sum(stage=stage) == (
+                stats.stage_seconds[stage]  # same float, not re-timed
+            )
+            assert counter.value(stage=stage, status="ok") == 1
+        assert metrics.get("repro_diffs_total").value(engine="buld") == 1
+
+    def test_skipped_stage_counted_separately(self):
+        metrics = MetricsRegistry()
+        profiler = StageProfiler(metrics=metrics)
+        context = DiffContext(skip_stages=frozenset({"propagate"}))
+        profiler.install(context)
+        get_engine("buld").diff_with_stats(
+            parse(OLD), parse(NEW), context=context
+        )
+        counter = metrics.get("repro_stages_total")
+        assert counter.value(stage="propagate", status="skipped") == 1
+        assert counter.value(stage="propagate", status="ok") == 0
+        assert counter.value(stage="annotate", status="ok") == 1
+
+    def test_profiler_reusable_across_runs(self):
+        metrics = MetricsRegistry()
+        profiler = StageProfiler(metrics=metrics)
+        for _ in range(3):
+            context = DiffContext()
+            profiler.install(context)
+            get_engine("buld").diff_with_stats(
+                parse(OLD), parse(NEW), context=context
+            )
+        assert metrics.get("repro_stage_seconds").sample_count(
+            stage="annotate"
+        ) == 3
+
+
+class TestProfilerSpans:
+    def test_profiler_tracer_derives_spans_from_events(self):
+        """A profiler-side tracer reports the event's seconds verbatim."""
+        tracer = Tracer()
+        profiler = StageProfiler(tracer=tracer)
+        context = DiffContext()
+        profiler.install(context)
+        _, stats = get_engine("buld").diff_with_stats(
+            parse(OLD), parse(NEW), context=context
+        )
+        spans = {span.attrs["stage"]: span for span in tracer.roots}
+        assert set(spans) == set(stats.stage_seconds)
+        for stage, seconds in stats.stage_seconds.items():
+            assert spans[stage].duration == seconds  # no re-timing
+
+    def test_synthetic_event_stream(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        profiler = StageProfiler(metrics=metrics, tracer=tracer)
+        profiler(StageEvent("match", 0, "start"))
+        profiler(StageEvent("match", 0, "end", 0.25))
+        profiler(StageEvent("build", 1, "skipped"))
+        (span,) = tracer.roots
+        assert span.name == "stage:match"
+        assert span.duration == 0.25
+        assert metrics.get("repro_stage_seconds").sample_sum(
+            stage="match"
+        ) == 0.25
+        assert metrics.get("repro_stages_total").value(
+            stage="build", status="skipped"
+        ) == 1
+
+    def test_dangling_start_tolerated(self):
+        """A stage that died emits no end; the next end must still work."""
+        tracer = Tracer()
+        profiler = StageProfiler(tracer=tracer)
+        profiler(StageEvent("outer", 0, "start"))
+        profiler(StageEvent("crashed", 1, "start"))
+        profiler(StageEvent("outer", 0, "end", 0.5))
+        names = {span.name for span in tracer.iter_spans()}
+        assert "stage:outer" in names
+
+    def test_metrics_only_profiler_opens_no_spans(self):
+        profiler = StageProfiler(metrics=MetricsRegistry())
+        profiler(StageEvent("match", 0, "start"))
+        profiler(StageEvent("match", 0, "end", 0.1))
+        assert profiler.tracer is None
+
+
+class TestDeltaUnaffected:
+    @pytest.mark.parametrize("engine", ["buld", "flat"])
+    def test_instrumented_run_produces_identical_delta(self, engine):
+        from repro.core.deltaxml import serialize_delta
+
+        plain, _ = diff_with_stats(parse(OLD), parse(NEW), engine=engine)
+        traced, _ = diff_with_stats(
+            parse(OLD),
+            parse(NEW),
+            engine=engine,
+            tracer=Tracer(),
+            metrics=MetricsRegistry(),
+        )
+        assert serialize_delta(plain) == serialize_delta(traced)

@@ -1,0 +1,96 @@
+"""The docs checker passes on the repo and actually detects drift."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRepoDocs:
+    def test_the_repo_documentation_is_clean(self, check_docs, capsys):
+        assert check_docs.main() == 0
+        assert "docs OK" in capsys.readouterr().out
+
+
+class TestDriftDetection:
+    def test_dead_relative_link_flagged(self, check_docs):
+        problems = []
+        check_docs.check_links(
+            ROOT / "docs" / "cli.md",
+            "[missing](no-such-page.md) [ok](architecture.md) "
+            "[ext](https://example.com) [anchor](#section)",
+            problems,
+        )
+        assert len(problems) == 1
+        assert "no-such-page.md" in problems[0]
+
+    def test_anchor_suffix_ignored_when_file_exists(self, check_docs):
+        problems = []
+        check_docs.check_links(
+            ROOT / "docs" / "cli.md",
+            "[section link](observability.md#metrics)",
+            problems,
+        )
+        assert problems == []
+
+    def test_phantom_module_flagged(self, check_docs):
+        problems = []
+        check_docs.check_module_refs(
+            ROOT / "README.md", "see `repro.no_such_subsystem`", problems
+        )
+        assert len(problems) == 1
+
+    def test_phantom_attribute_flagged(self, check_docs):
+        problems = []
+        check_docs.check_module_refs(
+            ROOT / "README.md", "`repro.obs.trace.NoSuchClass`", problems
+        )
+        assert problems and "NoSuchClass" in problems[0]
+
+    def test_valid_deep_reference_accepted(self, check_docs):
+        problems = []
+        check_docs.check_module_refs(
+            ROOT / "README.md",
+            "`repro.engine.base.DiffEngine` and "
+            "`repro.obs.profiler.STAGE_BUCKETS`",
+            problems,
+        )
+        assert problems == []
+
+    def test_phantom_cli_flag_flagged(self, check_docs, tmp_path):
+        flags, commands = check_docs.real_cli_surface()
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        headings = "\n".join(f"## {name}" for name in sorted(commands))
+        (docs / "cli.md").write_text(
+            f"{headings}\n\nuse `--definitely-not-a-flag` here\n"
+        )
+        problems = []
+        check_docs.check_cli_docs(docs, problems)
+        assert any("--definitely-not-a-flag" in p for p in problems)
+
+    def test_undocumented_subcommand_flagged(self, check_docs, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "cli.md").write_text("## diff\n")  # everything else missing
+        problems = []
+        check_docs.check_cli_docs(docs, problems)
+        assert any("'stats' undocumented" in p for p in problems)
+
+    def test_real_surface_contains_new_obs_flags(self, check_docs):
+        flags, commands = check_docs.real_cli_surface()
+        assert {"--trace", "--trace-memory", "--metrics-out",
+                "--metrics-format"} <= flags
+        assert "obs" in commands

@@ -327,3 +327,109 @@ class TestGenerateSimulate:
         assert parse(applied.read_text()).deep_equal(
             parse(mutated.read_text())
         )
+
+
+class TestObservabilityFlags:
+    def test_diff_trace_writes_jsonl(self, files, tmp_path):
+        _, old, new = files
+        trace = tmp_path / "run.jsonl"
+        delta = tmp_path / "delta.xml"
+        assert main(
+            ["diff", str(old), str(new), "-o", str(delta),
+             "--trace", str(trace)]
+        ) == 0
+        import json
+
+        lines = trace.read_text().strip().splitlines()
+        payloads = [json.loads(line) for line in lines]
+        names = {payload["name"] for payload in payloads}
+        assert "engine:buld" in names
+        assert "stage:annotate" in names and "stage:build-delta" in names
+        # per-stage spans sum close to the engine total (within 5%)
+        engine = next(p for p in payloads if p["name"] == "engine:buld")
+        stages = [p for p in payloads if p["name"].startswith("stage:")]
+        assert sum(s["duration"] for s in stages) >= 0.95 * (
+            engine["duration"] - 0.001  # tolerance for sub-ms runs
+        )
+
+    def test_stats_metrics_out_prometheus(self, files, tmp_path):
+        _, old, new = files
+        metrics = tmp_path / "metrics.prom"
+        assert main(
+            ["stats", str(old), str(new), "-o", "-",
+             "--metrics-out", str(metrics)]
+        ) == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_stage_seconds histogram" in text
+        assert 'repro_stage_seconds_count{stage="annotate"} 1' in text
+        assert 'repro_diffs_total{engine="buld"} 1' in text
+
+    def test_stats_metrics_out_json(self, files, tmp_path):
+        import json
+
+        _, old, new = files
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["stats", str(old), str(new), "-o", "-",
+             "--metrics-out", str(metrics), "--metrics-format", "json"]
+        ) == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["repro_stage_seconds"]["kind"] == "histogram"
+
+    def test_obs_render_prints_span_tree(self, files, tmp_path, capsys):
+        _, old, new = files
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["stats", str(old), str(new), "-o", str(tmp_path / "s.txt"),
+             "--trace", str(trace)]
+        ) == 0
+        assert main(["obs", "render", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "engine:buld" in out
+        assert "└─ stage:build-delta" in out
+        assert "ms" in out
+
+    def test_obs_render_no_attrs(self, files, tmp_path, capsys):
+        _, old, new = files
+        trace = tmp_path / "run.jsonl"
+        main(["stats", str(old), str(new), "-o", str(tmp_path / "s.txt"),
+              "--trace", str(trace)])
+        assert main(["obs", "render", str(trace), "--no-attrs"]) == 0
+        assert "stage=" not in capsys.readouterr().out
+
+    def test_obs_render_empty_trace_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "render", str(empty)]) == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_sitediff_trace(self, tmp_path, capsys):
+        import json
+
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        (old_dir / "a.xml").write_text("<p>one</p>")
+        (new_dir / "a.xml").write_text("<p>two</p>")
+        trace = tmp_path / "site.jsonl"
+        assert main(
+            ["sitediff", str(old_dir), str(new_dir),
+             "-o", str(tmp_path / "site.txt"), "--trace", str(trace)]
+        ) == 0
+        names = [
+            json.loads(line)["name"]
+            for line in trace.read_text().strip().splitlines()
+        ]
+        assert "sitediff" in names and "sitediff.doc" in names
+
+    def test_traced_delta_identical_to_plain(self, files, tmp_path):
+        _, old, new = files
+        plain = tmp_path / "plain.xml"
+        traced = tmp_path / "traced.xml"
+        assert main(["diff", str(old), str(new), "-o", str(plain)]) == 0
+        assert main(
+            ["diff", str(old), str(new), "-o", str(traced),
+             "--trace", str(tmp_path / "t.jsonl")]
+        ) == 0
+        assert plain.read_text() == traced.read_text()

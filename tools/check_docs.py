@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (run by the CI docs job).
+
+Three classes of drift, all fatal:
+
+1. **Dead links** — every relative markdown link in README.md,
+   EXPERIMENTS.md and docs/*.md must point at an existing file.
+2. **Phantom code references** — every dotted ``repro.*`` name in the
+   docs and README must resolve: the longest module prefix must import,
+   and any remaining parts must exist as attributes.
+3. **Phantom CLI flags** — every ``--flag`` mentioned in docs/*.md must
+   exist somewhere in the real argparse tree, and every subcommand of
+   the real parser must have a section in docs/cli.md.
+
+Usage: ``python tools/check_docs.py`` (from anywhere; exits 1 on drift).
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z0-9-]*")
+HEADING_RE = re.compile(r"^##+\s+(\S+)", re.MULTILINE)
+
+LINK_FILES = ["README.md", "EXPERIMENTS.md"]
+REFERENCE_FILES = ["README.md"]  # + docs/*.md, added in main()
+
+
+def _rel(path: pathlib.Path) -> str:
+    try:
+        return str(path.relative_to(ROOT))
+    except ValueError:
+        return str(path)
+
+
+def check_links(path: pathlib.Path, text: str, problems: list[str]) -> None:
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(f"{_rel(path)}: dead link {target!r}")
+
+
+def check_module_refs(path: pathlib.Path, text: str, problems: list[str]) -> None:
+    for token in sorted(set(MODULE_RE.findall(text))):
+        parts = token.split(".")
+        module = None
+        index = len(parts)
+        while index > 0:
+            try:
+                module = importlib.import_module(".".join(parts[:index]))
+                break
+            except ImportError:
+                index -= 1
+        if module is None:
+            problems.append(
+                f"{_rel(path)}: unimportable reference {token!r}"
+            )
+            continue
+        obj = module
+        for attribute in parts[index:]:
+            try:
+                obj = getattr(obj, attribute)
+            except AttributeError:
+                problems.append(
+                    f"{_rel(path)}: {token!r} — "
+                    f"{'.'.join(parts[:index])} has no attribute "
+                    f"{attribute!r}"
+                )
+                break
+
+
+def real_cli_surface():
+    """(all option strings, top-level subcommand names) from the parser."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    flags: set[str] = set()
+    commands: set[str] = set()
+
+    def walk(parser, top_level):
+        for action in parser._actions:
+            flags.update(
+                option
+                for option in action.option_strings
+                if option.startswith("--")
+            )
+            if isinstance(action, argparse._SubParsersAction):
+                for name, child in action.choices.items():
+                    if top_level:
+                        commands.add(name)
+                    walk(child, top_level=False)
+
+    walk(build_parser(), top_level=True)
+    return flags, commands
+
+
+def check_cli_docs(docs_dir: pathlib.Path, problems: list[str]) -> None:
+    flags, commands = real_cli_surface()
+    for path in sorted(docs_dir.glob("*.md")):
+        for flag in sorted(set(FLAG_RE.findall(path.read_text()))):
+            if flag not in flags:
+                problems.append(
+                    f"{_rel(path)}: flag {flag!r} does not "
+                    "exist in repro.cli"
+                )
+    cli_page = docs_dir / "cli.md"
+    documented = set(HEADING_RE.findall(cli_page.read_text()))
+    for command in sorted(commands - documented):
+        problems.append(f"docs/cli.md: subcommand {command!r} undocumented")
+
+
+def main() -> int:
+    problems: list[str] = []
+    docs_dir = ROOT / "docs"
+    if not docs_dir.is_dir():
+        print("FAIL: docs/ directory is missing", file=sys.stderr)
+        return 1
+
+    link_files = [ROOT / name for name in LINK_FILES]
+    link_files += sorted(docs_dir.glob("*.md"))
+    for path in link_files:
+        check_links(path, path.read_text(), problems)
+
+    reference_files = [ROOT / name for name in REFERENCE_FILES]
+    reference_files += sorted(docs_dir.glob("*.md"))
+    for path in reference_files:
+        check_module_refs(path, path.read_text(), problems)
+
+    check_cli_docs(docs_dir, problems)
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs OK ({len(link_files)} pages checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
