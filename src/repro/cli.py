@@ -11,6 +11,10 @@ Subcommands mirror the library's main capabilities:
 - ``simulate DOC``      — run the change simulator, emit the new version
   and/or the perfect delta.
 - ``obs render TRACE``  — pretty-print a saved JSON-lines trace.
+- ``fsck STORE``        — check (and repair) a directory version store.
+
+Malformed XML input exits with status 2 and a one-line
+``error: <file>:<line>:<column>: <message>`` diagnostic on stderr.
 
 ``diff``, ``stats`` and ``sitediff`` accept ``--trace FILE`` (write the
 run's span tree as JSON lines) and ``--metrics-out FILE`` (write the
@@ -41,7 +45,8 @@ from repro.simulator.generator import (
     generate_catalog,
     generate_document,
 )
-from repro.xmlkit.errors import ReproError
+from repro.storage import DURABILITY_LEVELS
+from repro.xmlkit.errors import ReproError, XmlParseError
 from repro.xmlkit.parser import parse
 from repro.xmlkit.serializer import serialize
 
@@ -66,7 +71,11 @@ def _write(path: str, text: str) -> None:
 
 
 def _load_document(path: str, keep_whitespace: bool):
-    return parse(_read(path), strip_whitespace=not keep_whitespace)
+    return parse(
+        _read(path),
+        strip_whitespace=not keep_whitespace,
+        origin=None if path == "-" else path,
+    )
 
 
 def _label_document(document, xidmap_path: str | None) -> None:
@@ -238,9 +247,19 @@ def _cmd_sitediff(args) -> int:
     import os
 
     from repro.core.deltaxml import delta_byte_size
-    from repro.versioning.sitediff import SiteSnapshot, diff_sites
+    from repro.versioning.sitediff import (
+        SiteSnapshot,
+        diff_sites,
+        record_site_error,
+    )
+
+    tracer, metrics = _obs_from_args(args)
+    parse_failures: dict[str, XmlParseError] = {}
 
     def snapshot_from_directory(root: str) -> SiteSnapshot:
+        # One malformed page must not abort the whole crawl: parse
+        # failures are recorded per key and the rest of the site is
+        # still diffed (see docs/cli.md on graceful degradation).
         snapshot = SiteSnapshot()
         for directory, _, names in sorted(os.walk(root)):
             for name in sorted(names):
@@ -249,15 +268,25 @@ def _cmd_sitediff(args) -> int:
                 path = os.path.join(directory, name)
                 key = os.path.relpath(path, root)
                 with open(path, "r", encoding="utf-8") as handle:
-                    snapshot.add(key, parse(handle.read()))
+                    try:
+                        snapshot.add(key, parse(handle.read(), origin=path))
+                    except XmlParseError as error:
+                        parse_failures[key] = error
         return snapshot
 
     old_snapshot = snapshot_from_directory(args.old_dir)
     new_snapshot = snapshot_from_directory(args.new_dir)
-    tracer, metrics = _obs_from_args(args)
     site_delta = diff_sites(
         old_snapshot, new_snapshot, tracer=tracer, metrics=metrics
     )
+    # A key that parsed on one side only must not masquerade as an
+    # added/removed document: it failed, period.
+    site_delta.added = [k for k in site_delta.added if k not in parse_failures]
+    site_delta.removed = [
+        k for k in site_delta.removed if k not in parse_failures
+    ]
+    for key in sorted(parse_failures):
+        record_site_error(site_delta, key, parse_failures[key], metrics)
     _write_obs(args, tracer, metrics)
 
     lines = []
@@ -278,13 +307,50 @@ def _cmd_sitediff(args) -> int:
             _write(target, serialize_delta(delta))
     for key in site_delta.unchanged:
         lines.append(f"unchanged {key}")
+    for key, message in sorted(site_delta.failed.items()):
+        lines.append(f"failed    {key}  ({message})")
     lines.append(
         f"summary: {site_delta.summary()} "
         f"({site_delta.change_ratio():.0%} of documents touched, "
         f"change stream {site_delta.delta_bytes()} bytes)"
     )
     _write(args.output, "\n".join(lines) + "\n")
-    return 0
+    for key, error in sorted(parse_failures.items()):
+        print(f"error: {error.location()}", file=sys.stderr)
+    return 2 if parse_failures else 0
+
+
+def _cmd_fsck(args) -> int:
+    from repro.versioning.fsck import fsck_store
+
+    tracer, metrics = _obs_from_args(args)
+    report = fsck_store(
+        args.store,
+        repair=args.repair,
+        durability=args.durability,
+        metrics=metrics,
+    )
+    lines = []
+    for event in report.recovery_events:
+        detail = f"  ({event.detail})" if event.detail else ""
+        lines.append(f"recovered {event.action:<22} {event.doc_dir}{detail}")
+    repaired_ids = {id(finding) for finding in report.repaired}
+    for finding in report.findings:
+        status = "repaired" if id(finding) in repaired_ids else "found"
+        lines.append(
+            f"{status:<9} {finding.kind:<18} {finding.path}  "
+            f"({finding.message})"
+        )
+    lines.append(
+        f"summary: documents={report.documents} "
+        f"recovered={len(report.recovery_events)} "
+        f"findings={len(report.findings)} "
+        f"repaired={len(report.repaired)} "
+        f"unrepaired={len(report.unrepaired)}"
+    )
+    _write(args.output, "\n".join(lines) + "\n")
+    _write_obs(args, tracer, metrics)
+    return report.exit_code()
 
 
 def _cmd_validate(args) -> int:
@@ -530,6 +596,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(func=_cmd_sitediff)
 
     sub = subparsers.add_parser(
+        "fsck", help="check (and repair) a directory version store"
+    )
+    sub.add_argument("store", help="store directory (a DirectoryRepository)")
+    sub.add_argument("--repair", action="store_true",
+                     help="apply the deterministic repairs "
+                          "(replay deltas, rebuild manifests, drop orphans)")
+    sub.add_argument("--durability", choices=DURABILITY_LEVELS,
+                     default="none",
+                     help="write policy for repairs (default: none)")
+    sub.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="write the run's metrics here")
+    sub.add_argument("--metrics-format",
+                     choices=("prometheus", "json"), default="prometheus",
+                     help="metrics file format (default: prometheus text)")
+    sub.add_argument("-o", "--output", default="-")
+    sub.set_defaults(func=_cmd_fsck)
+
+    sub = subparsers.add_parser(
         "validate", help="check a delta file for structural problems"
     )
     sub.add_argument("delta")
@@ -629,6 +713,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except XmlParseError as error:
+        # Malformed input is the caller's problem, not ours: exit 2 with
+        # the compiler-style file:line:column one-liner.
+        print(f"error: {error.location()}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -1,0 +1,28 @@
+"""Durable storage primitives shared by the persistence layer.
+
+The version store's value proposition — any version is reconstructible
+from the completed deltas — only holds if the files carrying those
+deltas survive crashes.  :mod:`repro.storage.atomic` provides the write
+discipline every repository write path uses: temp file + ``os.replace``
+(readers never observe a half-written file), optional ``fsync`` per a
+durability policy, and SHA-256 digests so a manifest can later prove
+the bytes on disk are the bytes that were committed.
+"""
+
+from repro.storage.atomic import (
+    DURABILITY_LEVELS,
+    atomic_write,
+    atomic_write_json,
+    check_durability,
+    sha256_bytes,
+    sha256_file,
+)
+
+__all__ = [
+    "DURABILITY_LEVELS",
+    "atomic_write",
+    "atomic_write_json",
+    "check_durability",
+    "sha256_bytes",
+    "sha256_file",
+]

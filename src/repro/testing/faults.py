@@ -1,0 +1,140 @@
+"""Deterministic fault injection for the storage layer.
+
+A :class:`FaultInjector` plugs into :func:`repro.storage.atomic.
+atomic_write` / ``fault_aware_unlink`` (every repository write path
+passes one through) and simulates the three failure shapes a
+production store meets:
+
+- **crash** — the process dies *before* an I/O operation: the target
+  file is untouched (``os.replace`` is all-or-nothing, so a real crash
+  mid-write leaves at most a temp file).
+- **eio** — the operation fails with ``OSError(EIO)`` (full disk,
+  flaky device); the caller sees an exception, the target is untouched.
+- **torn** — the worst case: half of the payload lands in the *target*
+  file and then the process dies.  This models a filesystem without
+  atomic rename semantics (or post-crash sector corruption) and is what
+  checksum verification and ``fsck --repair`` exist for.
+
+Operations are counted; ``crash_after=N`` lets a crash matrix walk
+every I/O boundary of a compound operation: ``N`` operations succeed,
+the next one fails.  ``label=`` restricts counting/failing to one named
+write point (``"journal"``, ``"delta"``, ``"current"``, ``"manifest"``,
+``"meta"``, ``"journal-clear"``).
+
+The injector also works as a pure probe: with no failure configured it
+records every operation in :attr:`FaultInjector.ops`, which is how the
+crash-matrix test discovers how many crash points an ``append`` has.
+"""
+
+from __future__ import annotations
+
+import errno
+
+__all__ = [
+    "FaultInjector",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedIOError",
+]
+
+
+class InjectedFault(OSError):
+    """Base class of injected failures (carries the write point hit)."""
+
+    def __init__(self, message: str, *, label: str, path: str):
+        super().__init__(message)
+        self.label = label
+        self.path = path
+
+
+class InjectedCrash(InjectedFault):
+    """Simulated process death at an I/O boundary."""
+
+
+class InjectedIOError(InjectedFault):
+    """Simulated I/O error (``errno`` is ``EIO``)."""
+
+    def __init__(self, message: str, *, label: str, path: str):
+        super().__init__(message, label=label, path=path)
+        self.errno = errno.EIO
+
+
+class FaultInjector:
+    """Deterministic failure injection at named storage write points.
+
+    Args:
+        crash_after: Number of (matching) operations that succeed before
+            the fault fires; ``None`` disables failing (probe mode).
+        label: Only operations with this label count and fail
+            (``None`` = every operation).
+        mode: ``"crash"``, ``"eio"`` or ``"torn"`` (see module docs).
+            A torn fault on an unlink degrades to a plain crash — there
+            is no payload to tear.
+
+    Attributes:
+        ops: ``(op, label)`` pairs of operations that *completed* (the
+            faulted operation is not recorded).
+        fired: Whether the configured fault has fired.
+    """
+
+    MODES = ("crash", "eio", "torn")
+
+    def __init__(
+        self,
+        crash_after: int | None = None,
+        *,
+        label: str | None = None,
+        mode: str = "crash",
+    ):
+        if mode not in self.MODES:
+            raise ValueError(
+                f"unknown fault mode {mode!r}; expected one of {self.MODES}"
+            )
+        if crash_after is not None and crash_after < 0:
+            raise ValueError("crash_after must be >= 0")
+        self.crash_after = crash_after
+        self.label = label
+        self.mode = mode
+        self.ops: list[tuple[str, str]] = []
+        self.fired = False
+        self._remaining = crash_after
+
+    def reset(self) -> None:
+        """Re-arm the injector and clear the operation log."""
+        self.ops.clear()
+        self.fired = False
+        self._remaining = self.crash_after
+
+    # -- hooks called by the atomic layer ------------------------------------
+
+    def on_write(self, label: str, path: str, data: bytes) -> None:
+        self._maybe_fail("write", label, path, data)
+        self.ops.append(("write", label))
+
+    def on_unlink(self, label: str, path: str) -> None:
+        self._maybe_fail("unlink", label, path, None)
+        self.ops.append(("unlink", label))
+
+    # -- internals -----------------------------------------------------------
+
+    def _maybe_fail(self, op: str, label: str, path: str, data) -> None:
+        if self.fired or self.crash_after is None:
+            return
+        if self.label is not None and label != self.label:
+            return
+        if self._remaining > 0:
+            self._remaining -= 1
+            return
+        self.fired = True
+        if self.mode == "eio":
+            raise InjectedIOError(
+                f"injected EIO at {op} {label!r}", label=label, path=path
+            )
+        if self.mode == "torn" and op == "write" and data:
+            # Tear the *target* file: the half-written state a
+            # non-atomic filesystem could expose after a crash.
+            with open(path, "wb") as handle:
+                handle.write(data[: max(1, len(data) // 2)])
+        raise InjectedCrash(
+            f"injected crash at {op} {label!r}", label=label, path=path
+        )

@@ -10,13 +10,17 @@
 """
 
 from repro.versioning.alerter import Alert, Alerter, Subscription
+from repro.versioning.fsck import FsckReport, fsck_store
 from repro.versioning.loader import LoaderStats, WarehouseLoader
 from repro.versioning.merge import Conflict, MergeResult, merge
 from repro.versioning.sitediff import SiteDelta, SiteSnapshot, diff_sites
 from repro.versioning.statistics import ChangeStatistics
 from repro.versioning.repository import (
+    CorruptStoreError,
     DirectoryRepository,
+    Finding,
     MemoryRepository,
+    RecoveryEvent,
     Repository,
 )
 from repro.versioning.temporal import NodeHistory, TemporalQueries, VersionEvent
@@ -28,13 +32,18 @@ __all__ = [
     "Alerter",
     "ChangeStatistics",
     "Conflict",
+    "CorruptStoreError",
     "DirectoryRepository",
+    "Finding",
+    "FsckReport",
     "LoaderStats",
     "MergeResult",
     "WarehouseLoader",
+    "fsck_store",
     "merge",
     "MemoryRepository",
     "NodeHistory",
+    "RecoveryEvent",
     "Repository",
     "SiteDelta",
     "SiteSnapshot",

@@ -1,0 +1,273 @@
+"""Store checking and repair (the ``xydiff fsck`` subcommand).
+
+``fsck_store`` audits a :class:`~repro.versioning.DirectoryRepository`
+— opening it first runs journal recovery for torn commits — then
+verifies checksums against each document's ``manifest.json`` and, with
+``repair=True``, applies the deterministic fixes:
+
+- **orphan temp files / unexpected files** are removed (they are
+  invisible to every read path: the metadata never references them);
+- a **missing or unreadable manifest** is rebuilt from the files on
+  disk (trust-on-first-hash, the only option for legacy stores);
+- a **damaged ``current.xml``** is re-derived by replaying the stored
+  delta chain *forward* from the nearest checkpoint snapshot — the
+  recovery move the paper's completed deltas are designed for;
+- a **damaged checkpoint snapshot** is re-derived by replaying the
+  chain *backward* from ``current.xml`` (completed deltas invert for
+  free).
+
+Either replay only counts as a repair when the reconstructed bytes
+match the manifest's recorded SHA-256 — a repair can never silently
+substitute different content.  Damaged delta files and metadata are
+reported but not repaired: their content exists nowhere else.
+
+Metrics (``metrics=``): ``repro_fsck_documents_total``,
+``repro_fsck_findings_total{kind=...}``,
+``repro_fsck_repairs_total{kind=...}``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass, field
+
+from repro.storage.atomic import atomic_write, sha256_bytes, sha256_file
+from repro.versioning.repository import (
+    CURRENT_NAME,
+    MANIFEST_NAME,
+    META_NAME,
+    DirectoryRepository,
+    Finding,
+    RecoveryEvent,
+    _DELTA_FILE_RE,
+    _SNAPSHOT_FILE_RE,
+    _replay_from_snapshot,
+)
+from repro.xmlkit.errors import ReproError, RepositoryError
+from repro.xmlkit.serializer import serialize_bytes
+
+__all__ = ["FsckReport", "fsck_store"]
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one ``fsck`` run.
+
+    Attributes:
+        documents: Number of document directories checked.
+        recovery_events: Torn commits resolved while opening the store.
+        findings: Problems found by verification (pre-repair).
+        repaired: The subset of ``findings`` that was fixed.
+        unrepaired: The subset still present after the run.
+    """
+
+    documents: int = 0
+    recovery_events: list[RecoveryEvent] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    repaired: list[Finding] = field(default_factory=list)
+    unrepaired: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was found and nothing needed recovery."""
+        return not self.findings and not self.recovery_events
+
+    def exit_code(self) -> int:
+        """0 = clean, 1 = problems found but all resolved, 2 = problems
+        remain (run again with ``repair=True``, or the damage is
+        unrepairable)."""
+        if self.unrepaired:
+            return 2
+        return 0 if self.clean else 1
+
+
+def fsck_store(
+    base_path,
+    *,
+    repair: bool = False,
+    durability: str = "none",
+    metrics=None,
+) -> FsckReport:
+    """Check (and optionally repair) a directory store.
+
+    Args:
+        base_path: Root directory of the store.  Must exist — fsck
+            never creates a store.
+        repair: Apply the deterministic fixes described in the module
+            docstring.
+        durability: Write policy for repairs.
+        metrics: Optional :class:`repro.obs.metrics.MetricsRegistry`.
+
+    Raises:
+        RepositoryError: when ``base_path`` is not a directory.
+    """
+    base_path = os.fspath(base_path)
+    if not os.path.isdir(base_path):
+        raise RepositoryError(f"store directory {base_path!r} does not exist")
+    repo = DirectoryRepository(base_path, durability=durability)
+    report = FsckReport(recovery_events=list(repo.recovery_events))
+    report.documents = sum(
+        1
+        for entry in os.listdir(base_path)
+        if os.path.isdir(os.path.join(base_path, entry))
+    )
+    report.findings = repo.verify()
+    if repair:
+        for finding in report.findings:
+            if finding.repairable and _repair(repo, finding):
+                report.repaired.append(finding)
+            else:
+                report.unrepaired.append(finding)
+    else:
+        report.unrepaired = list(report.findings)
+    if metrics is not None:
+        registry_documents = metrics.counter(
+            "repro_fsck_documents_total",
+            help="Documents checked by fsck.",
+        )
+        registry_findings = metrics.counter(
+            "repro_fsck_findings_total",
+            help="Problems found by fsck, by kind.",
+        )
+        registry_repairs = metrics.counter(
+            "repro_fsck_repairs_total",
+            help="Problems repaired by fsck, by kind.",
+        )
+        if report.documents:
+            registry_documents.inc(report.documents)
+        for finding in report.findings:
+            registry_findings.inc(kind=finding.kind)
+        for finding in report.repaired:
+            registry_repairs.inc(kind=finding.kind)
+    return report
+
+
+def _repair(repo: DirectoryRepository, finding: Finding) -> bool:
+    """Apply the fix for one finding; True on success."""
+    try:
+        if finding.kind == "orphan-temp" or finding.kind == "unexpected-file":
+            os.unlink(finding.path)
+            return True
+        if finding.kind == "incomplete-document":
+            shutil.rmtree(finding.path)
+            return True
+        if finding.kind == "missing-manifest":
+            return _rebuild_manifest(repo, os.path.dirname(finding.path))
+        if finding.kind == "missing-checksum":
+            return _record_checksum(repo, finding.path)
+        if finding.kind in ("checksum-mismatch", "missing-file"):
+            name = os.path.basename(finding.path)
+            doc_dir = os.path.dirname(finding.path)
+            if name == CURRENT_NAME:
+                return _rederive_current(repo, doc_dir)
+            if _SNAPSHOT_FILE_RE.match(name):
+                return _rederive_snapshot(repo, doc_dir, name)
+        return False
+    except (ReproError, OSError):
+        return False
+
+
+def _read_meta(repo: DirectoryRepository, doc_dir: str) -> dict:
+    return repo._read_json(os.path.join(doc_dir, META_NAME), "metadata")
+
+
+def _write_manifest(
+    repo: DirectoryRepository, doc_dir: str, manifest: dict
+) -> None:
+    from repro.storage.atomic import atomic_write_json
+
+    atomic_write_json(
+        os.path.join(doc_dir, MANIFEST_NAME),
+        manifest,
+        durability=repo.durability,
+    )
+
+
+def _rebuild_manifest(repo: DirectoryRepository, doc_dir: str) -> bool:
+    """Recompute every checksum from the files on disk."""
+    meta = _read_meta(repo, doc_dir)
+    current_version = int(meta.get("current_version", 1))
+    snapshot_versions = {int(v) for v in meta.get("snapshots", {})}
+    files: dict[str, str] = {}
+    for name in sorted(os.listdir(doc_dir)):
+        path = os.path.join(doc_dir, name)
+        delta_match = _DELTA_FILE_RE.match(name)
+        snapshot_match = _SNAPSHOT_FILE_RE.match(name)
+        if name == CURRENT_NAME:
+            files[name] = sha256_file(path)
+        elif delta_match and 1 <= int(delta_match.group(1)) < current_version:
+            files[name] = sha256_file(path)
+        elif snapshot_match and int(snapshot_match.group(1)) in snapshot_versions:
+            files[name] = sha256_file(path)
+    _write_manifest(
+        repo, doc_dir, {"algorithm": "sha256", "files": files}
+    )
+    return True
+
+
+def _record_checksum(repo: DirectoryRepository, path: str) -> bool:
+    doc_dir = os.path.dirname(path)
+    manifest = repo._read_json(
+        os.path.join(doc_dir, MANIFEST_NAME), "manifest"
+    )
+    manifest.setdefault("files", {})[os.path.basename(path)] = sha256_file(
+        path
+    )
+    _write_manifest(repo, doc_dir, manifest)
+    return True
+
+
+def _rederive_current(repo: DirectoryRepository, doc_dir: str) -> bool:
+    """Replay the delta chain forward from the nearest checkpoint."""
+    meta = _read_meta(repo, doc_dir)
+    manifest = repo._read_json(
+        os.path.join(doc_dir, MANIFEST_NAME), "manifest"
+    )
+    expected = manifest.get("files", {}).get(CURRENT_NAME)
+    document = _replay_from_snapshot(
+        doc_dir, meta, int(meta.get("current_version", 1))
+    )
+    if document is None:
+        return False
+    data = serialize_bytes(document)
+    if expected is not None and sha256_bytes(data) != expected:
+        return False
+    atomic_write(
+        os.path.join(doc_dir, CURRENT_NAME),
+        data,
+        durability=repo.durability,
+    )
+    return True
+
+
+def _rederive_snapshot(
+    repo: DirectoryRepository, doc_dir: str, name: str
+) -> bool:
+    """Replay the delta chain backward from ``current.xml``.
+
+    Completed deltas invert for free, so any checkpoint is
+    reconstructible from the current version — provided ``current.xml``
+    and the deltas between are themselves intact.
+    """
+    from repro.core.apply import apply_backward
+
+    meta = _read_meta(repo, doc_dir)
+    version = int(_SNAPSHOT_FILE_RE.match(name).group(1))
+    doc_id = str(meta.get("doc_id", os.path.basename(doc_dir)))
+    manifest = repo._read_json(
+        os.path.join(doc_dir, MANIFEST_NAME), "manifest"
+    )
+    expected = manifest.get("files", {}).get(name)
+    document = repo.load_current(doc_id)
+    for base in range(int(meta.get("current_version", 1)) - 1, version - 1, -1):
+        document = apply_backward(
+            repo.load_delta(doc_id, base), document, in_place=True
+        )
+    data = serialize_bytes(document)
+    if expected is not None and sha256_bytes(data) != expected:
+        return False
+    atomic_write(
+        os.path.join(doc_dir, name), data, durability=repo.durability
+    )
+    return True

@@ -16,6 +16,29 @@ Two implementations share the interface:
   (``delta-0001-0002.xml`` ...), and a small metadata file.  Documents and
   deltas are stored in their XML forms, so the store is inspectable with
   any XML tooling — a property the paper makes a point of.
+
+Durability
+----------
+The delta model exists so any version can be *reconstructed* — which is
+only worth something if the files survive crashes.  The directory
+repository therefore commits with a write discipline:
+
+- every file is written atomically (:mod:`repro.storage.atomic`:
+  temp file + ``os.replace``; ``durability=`` adds ``fsync``);
+- SHA-256 checksums of the content files live in a per-document
+  ``manifest.json``;
+- :meth:`DirectoryRepository.append` is **journaled**: a commit-intent
+  record (``journal.json``) carrying the post-state checksums and the
+  new metadata is written *first* and removed *last*.  On reopen, a
+  leftover journal identifies a torn commit, which is rolled forward
+  (all content files landed — finish the metadata) or rolled back
+  (remove the half-commit; if ``current.xml`` itself was torn, replay
+  the delta chain from the nearest checkpoint to re-derive it)
+  deterministically.
+
+:meth:`DirectoryRepository.verify` audits checksums and structure and
+returns findings; ``repro fsck`` (see :mod:`repro.versioning.fsck`)
+wraps it with repair.
 """
 
 from __future__ import annotations
@@ -23,17 +46,93 @@ from __future__ import annotations
 import json
 import os
 import re
+from dataclasses import dataclass
+
 from repro.core.delta import Delta
 from repro.core.deltaxml import delta_from_document, delta_to_document
 from repro.core.xid import XidAllocator
-from repro.xmlkit.errors import RepositoryError
+from repro.storage.atomic import (
+    atomic_write,
+    atomic_write_json,
+    check_durability,
+    fault_aware_unlink,
+    is_temp_file,
+    sha256_bytes,
+    sha256_file,
+)
+from repro.xmlkit.errors import RepositoryError, XmlParseError
 from repro.xmlkit.model import Document
 from repro.xmlkit.parser import parse_file
-from repro.xmlkit.serializer import write_file
+from repro.xmlkit.serializer import serialize_bytes
 
-__all__ = ["DirectoryRepository", "MemoryRepository", "Repository"]
+__all__ = [
+    "CorruptStoreError",
+    "DirectoryRepository",
+    "Finding",
+    "MemoryRepository",
+    "RecoveryEvent",
+    "Repository",
+]
 
 _DELTA_FILE_RE = re.compile(r"^delta-(\d+)-(\d+)\.xml$")
+_SNAPSHOT_FILE_RE = re.compile(r"^snapshot-(\d+)\.xml$")
+
+CURRENT_NAME = "current.xml"
+META_NAME = "meta.json"
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.json"
+
+
+class CorruptStoreError(RepositoryError):
+    """A stored file is unreadable or fails validation.
+
+    Unlike plain :class:`RepositoryError` (misuse: unknown document,
+    out-of-range version), this means bytes on disk are damaged.  The
+    offending file is carried in :attr:`path` so tooling (``fsck``, a
+    monitoring hook) can point at it.
+    """
+
+    def __init__(self, message: str, path=None):
+        super().__init__(message)
+        self.path = os.fspath(path) if path is not None else None
+
+
+@dataclass
+class Finding:
+    """One problem reported by :meth:`DirectoryRepository.verify`.
+
+    Attributes:
+        doc_id: Document the finding belongs to (directory name when the
+            metadata naming it is itself unreadable).
+        kind: Machine-readable category (``torn-commit``,
+            ``corrupt-meta``, ``missing-manifest``, ``missing-checksum``,
+            ``missing-file``, ``checksum-mismatch``, ``orphan-temp``,
+            ``unexpected-file``, ``incomplete-document``).
+        path: Offending file or directory.
+        message: Human-readable description.
+        repairable: Whether ``fsck --repair`` has a deterministic fix.
+    """
+
+    doc_id: str
+    kind: str
+    path: str
+    message: str
+    repairable: bool = False
+
+
+@dataclass
+class RecoveryEvent:
+    """One torn commit handled while opening a directory repository.
+
+    ``action`` is ``rolled-forward``, ``rolled-back``,
+    ``rolled-back-replay``, ``removed-invalid-journal`` or
+    ``unrecoverable`` (the journal is left in place and
+    :meth:`DirectoryRepository.verify` keeps reporting it).
+    """
+
+    doc_dir: str
+    action: str
+    detail: str = ""
 
 
 class Repository:
@@ -81,6 +180,11 @@ class Repository:
     ):
         """Advance a document by one version."""
         raise NotImplementedError
+
+    def verify(self, doc_id: str | None = None) -> list[Finding]:
+        """Audit stored state; a backend without persistent state is
+        vacuously clean."""
+        return []
 
     # -- snapshot checkpoints -------------------------------------------------
     # Reconstruction normally walks deltas backward from the current
@@ -187,6 +291,10 @@ class DirectoryRepository(Repository):
     ``current.xml`` under an unchanged metadata file is the one change
     the cache cannot see.
 
+    Opening the repository scans for leftover commit journals and
+    recovers them (see the module docstring); what happened is recorded
+    in :attr:`recovery_events`.
+
     Args:
         base_path: Root directory of the store (created if missing).
         tracer: Optional :class:`repro.obs.trace.Tracer`; the disk-bound
@@ -194,13 +302,23 @@ class DirectoryRepository(Repository):
             ``cache_hit`` attribute) and ``repo.append`` spans, nesting
             under whatever span the caller has open (a version store's
             ``store.commit``).
+        durability: ``"none"`` (default), ``"fsync"`` or ``"full"`` —
+            how hard every write pushes toward stable storage (see
+            :mod:`repro.storage.atomic`).
+        faults: Optional :class:`repro.testing.faults.FaultInjector`
+            threaded through every write (crash-matrix testing).
     """
 
-    def __init__(self, base_path, tracer=None):
+    def __init__(self, base_path, tracer=None, *, durability="none", faults=None):
         self.base_path = os.fspath(base_path)
         os.makedirs(self.base_path, exist_ok=True)
         self.tracer = tracer
+        self.durability = check_durability(durability)
+        self.faults = faults
         self._current_cache: dict[str, tuple[dict, Document]] = {}
+        #: Torn commits handled while opening the store.
+        self.recovery_events: list[RecoveryEvent] = []
+        self.recover()
 
     # -- paths ---------------------------------------------------------------
 
@@ -209,31 +327,68 @@ class DirectoryRepository(Repository):
         return os.path.join(self.base_path, safe)
 
     def _meta_path(self, doc_id: str) -> str:
-        return os.path.join(self._doc_dir(doc_id), "meta.json")
+        return os.path.join(self._doc_dir(doc_id), META_NAME)
 
     def _current_path(self, doc_id: str) -> str:
-        return os.path.join(self._doc_dir(doc_id), "current.xml")
+        return os.path.join(self._doc_dir(doc_id), CURRENT_NAME)
+
+    def _manifest_path(self, doc_id: str) -> str:
+        return os.path.join(self._doc_dir(doc_id), MANIFEST_NAME)
+
+    def _journal_path(self, doc_id: str) -> str:
+        return os.path.join(self._doc_dir(doc_id), JOURNAL_NAME)
+
+    def _delta_name(self, base_version: int) -> str:
+        return f"delta-{base_version:04d}-{base_version + 1:04d}.xml"
 
     def _delta_path(self, doc_id: str, base_version: int) -> str:
         return os.path.join(
-            self._doc_dir(doc_id),
-            f"delta-{base_version:04d}-{base_version + 1:04d}.xml",
+            self._doc_dir(doc_id), self._delta_name(base_version)
         )
+
+    # -- metadata / manifest files -------------------------------------------
+
+    @staticmethod
+    def _read_json(path: str, what: str) -> dict:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise CorruptStoreError(
+                f"corrupt {what} at {path}: {exc}", path=path
+            ) from exc
 
     def _load_meta(self, doc_id: str) -> dict:
         try:
-            with open(self._meta_path(doc_id), "r", encoding="utf-8") as handle:
-                return json.load(handle)
+            return self._read_json(self._meta_path(doc_id), "metadata")
         except FileNotFoundError as exc:
             raise RepositoryError(f"unknown document {doc_id!r}") from exc
-        except json.JSONDecodeError as exc:
-            raise RepositoryError(
-                f"corrupt metadata for {doc_id!r}: {exc}"
-            ) from exc
 
     def _store_meta(self, doc_id: str, meta: dict) -> None:
-        with open(self._meta_path(doc_id), "w", encoding="utf-8") as handle:
-            json.dump(meta, handle, indent=2, sort_keys=True)
+        atomic_write_json(
+            self._meta_path(doc_id),
+            meta,
+            durability=self.durability,
+            faults=self.faults,
+            label="meta",
+        )
+
+    def _load_manifest(self, doc_id: str) -> dict:
+        try:
+            return self._read_json(self._manifest_path(doc_id), "manifest")
+        except FileNotFoundError:
+            # Stores written before manifests existed keep working;
+            # fsck --repair backfills the file.
+            return {"algorithm": "sha256", "files": {}}
+
+    def _store_manifest(self, doc_id: str, manifest: dict) -> None:
+        atomic_write_json(
+            self._manifest_path(doc_id),
+            manifest,
+            durability=self.durability,
+            faults=self.faults,
+            label="manifest",
+        )
 
     # -- Repository interface ---------------------------------------------------
 
@@ -241,8 +396,6 @@ class DirectoryRepository(Repository):
         directory = self._doc_dir(doc_id)
         if os.path.exists(self._meta_path(doc_id)):
             raise RepositoryError(f"document {doc_id!r} already exists")
-        os.makedirs(directory, exist_ok=True)
-        write_file(document, self._current_path(doc_id))
         meta = {
             "doc_id": doc_id,
             "current_version": 1,
@@ -252,6 +405,21 @@ class DirectoryRepository(Repository):
             ),
             "xid_labels": _collect_xids(document),
         }
+        os.makedirs(directory, exist_ok=True)
+        digest = atomic_write(
+            self._current_path(doc_id),
+            serialize_bytes(document),
+            durability=self.durability,
+            faults=self.faults,
+            label="current",
+        )
+        self._store_manifest(
+            doc_id, {"algorithm": "sha256", "files": {CURRENT_NAME: digest}}
+        )
+        # meta.json lands last: its appearance is what makes the
+        # document exist.  A crash before this point leaves an
+        # incomplete directory that the next create() overwrites and
+        # fsck flags.
         self._store_meta(doc_id, meta)
         self._current_cache[doc_id] = (meta, document.clone())
 
@@ -261,10 +429,9 @@ class DirectoryRepository(Repository):
     def document_ids(self) -> list[str]:
         ids = []
         for entry in sorted(os.listdir(self.base_path)):
-            meta_path = os.path.join(self.base_path, entry, "meta.json")
+            meta_path = os.path.join(self.base_path, entry, META_NAME)
             if os.path.exists(meta_path):
-                with open(meta_path, "r", encoding="utf-8") as handle:
-                    ids.append(json.load(handle)["doc_id"])
+                ids.append(self._read_json(meta_path, "metadata")["doc_id"])
         return ids
 
     def current_version(self, doc_id: str) -> int:
@@ -307,7 +474,14 @@ class DirectoryRepository(Repository):
             raise RepositoryError(
                 f"no delta {base_version}->{base_version + 1} for {doc_id!r}"
             )
-        return delta_from_document(parse_file(path, strip_whitespace=False))
+        try:
+            return delta_from_document(
+                parse_file(path, strip_whitespace=False)
+            )
+        except XmlParseError as exc:
+            raise CorruptStoreError(
+                f"corrupt delta file {path}: {exc}", path=path
+            ) from exc
 
     def append(self, doc_id, delta, new_document, allocator):
         span = None
@@ -318,18 +492,353 @@ class DirectoryRepository(Repository):
             version = int(meta["current_version"])
             if span is not None:
                 span.attrs["base_version"] = version
-            write_file(
-                delta_to_document(delta), self._delta_path(doc_id, version)
+            delta_name = self._delta_name(version)
+            delta_bytes = serialize_bytes(delta_to_document(delta))
+            current_bytes = serialize_bytes(new_document)
+            manifest = self._load_manifest(doc_id)
+            new_meta = dict(meta)
+            new_meta["current_version"] = version + 1
+            new_meta["next_xid"] = allocator.next_xid
+            new_meta["xid_labels"] = _collect_xids(new_document)
+            new_manifest = {
+                "algorithm": "sha256",
+                "files": dict(manifest.get("files", {})),
+            }
+            new_manifest["files"][delta_name] = sha256_bytes(delta_bytes)
+            new_manifest["files"][CURRENT_NAME] = sha256_bytes(current_bytes)
+            journal = {
+                "doc_id": meta.get("doc_id", doc_id),
+                "base_version": version,
+                "target_version": version + 1,
+                "delta_file": delta_name,
+                "pre": {
+                    CURRENT_NAME: manifest.get("files", {}).get(CURRENT_NAME)
+                },
+                "post": {
+                    CURRENT_NAME: new_manifest["files"][CURRENT_NAME],
+                    delta_name: new_manifest["files"][delta_name],
+                },
+                "meta": new_meta,
+                "manifest": new_manifest,
+            }
+            # Commit protocol: intent first, content next, metadata
+            # after the content it describes, journal removal last.
+            # Every prefix of this sequence is recoverable.
+            atomic_write_json(
+                self._journal_path(doc_id),
+                journal,
+                durability=self.durability,
+                faults=self.faults,
+                label="journal",
             )
-            write_file(new_document, self._current_path(doc_id))
-            meta["current_version"] = version + 1
-            meta["next_xid"] = allocator.next_xid
-            meta["xid_labels"] = _collect_xids(new_document)
-            self._store_meta(doc_id, meta)
-            self._current_cache[doc_id] = (meta, new_document.clone())
+            atomic_write(
+                self._delta_path(doc_id, version),
+                delta_bytes,
+                durability=self.durability,
+                faults=self.faults,
+                label="delta",
+            )
+            atomic_write(
+                self._current_path(doc_id),
+                current_bytes,
+                durability=self.durability,
+                faults=self.faults,
+                label="current",
+            )
+            self._store_manifest(doc_id, new_manifest)
+            self._store_meta(doc_id, new_meta)
+            fault_aware_unlink(
+                self._journal_path(doc_id),
+                faults=self.faults,
+                label="journal-clear",
+            )
+            self._current_cache[doc_id] = (new_meta, new_document.clone())
         finally:
             if span is not None:
                 self.tracer.end_span(span)
+
+    # -- crash recovery ---------------------------------------------------------
+
+    def recover(self) -> list[RecoveryEvent]:
+        """Detect and resolve torn commits (runs automatically on open).
+
+        Returns the events appended to :attr:`recovery_events` by this
+        scan.  Safe to call repeatedly; a healthy store is a no-op.
+        """
+        events: list[RecoveryEvent] = []
+        for entry in sorted(os.listdir(self.base_path)):
+            doc_dir = os.path.join(self.base_path, entry)
+            if os.path.exists(os.path.join(doc_dir, JOURNAL_NAME)):
+                events.append(self._recover_doc(doc_dir))
+        self.recovery_events.extend(events)
+        return events
+
+    def _recover_doc(self, doc_dir: str) -> RecoveryEvent:
+        journal_path = os.path.join(doc_dir, JOURNAL_NAME)
+        try:
+            journal = self._read_json(journal_path, "journal")
+        except (CorruptStoreError, OSError):
+            # The journal is written atomically *before* any content
+            # file, so an unreadable journal means the tear hit the
+            # journal itself and nothing else changed: discard it.
+            fault_aware_unlink(journal_path)
+            return RecoveryEvent(doc_dir, "removed-invalid-journal")
+        post = journal.get("post", {})
+        pre = journal.get("pre", {})
+        delta_name = journal.get("delta_file", "")
+        delta_path = os.path.join(doc_dir, delta_name)
+        current_path = os.path.join(doc_dir, CURRENT_NAME)
+        delta_ok = (
+            bool(delta_name)
+            and os.path.exists(delta_path)
+            and sha256_file(delta_path) == post.get(delta_name)
+        )
+        current_digest = (
+            sha256_file(current_path)
+            if os.path.exists(current_path)
+            else None
+        )
+        if delta_ok and current_digest == post.get(CURRENT_NAME):
+            # All content landed — the crash hit the metadata writes or
+            # the journal removal.  Roll forward from the journal's
+            # embedded copies.
+            atomic_write_json(
+                os.path.join(doc_dir, MANIFEST_NAME),
+                journal["manifest"],
+                durability=self.durability,
+            )
+            atomic_write_json(
+                os.path.join(doc_dir, META_NAME),
+                journal["meta"],
+                durability=self.durability,
+            )
+            fault_aware_unlink(journal_path)
+            return RecoveryEvent(
+                doc_dir,
+                "rolled-forward",
+                f"to version {journal.get('target_version')}",
+            )
+        pre_current = pre.get(CURRENT_NAME)
+        if current_digest is not None and pre_current in (None, current_digest):
+            # current.xml is still the pre-commit content (or a legacy
+            # store never recorded its hash — trust the write order:
+            # delta precedes current, and the delta did not land).
+            fault_aware_unlink(delta_path)
+            fault_aware_unlink(journal_path)
+            return RecoveryEvent(
+                doc_dir,
+                "rolled-back",
+                f"to version {journal.get('base_version')}",
+            )
+        # current.xml is neither pre nor post: it was torn.  Re-derive
+        # the pre-commit content by replaying the delta chain from the
+        # nearest checkpoint — the recovery mechanism completed deltas
+        # make possible.
+        meta_path = os.path.join(doc_dir, META_NAME)
+        try:
+            meta = self._read_json(meta_path, "metadata")
+            base_version = int(journal.get("base_version", 0))
+            replayed = _replay_from_snapshot(doc_dir, meta, base_version)
+        except (CorruptStoreError, RepositoryError, OSError):
+            replayed = None
+        if replayed is None:
+            return RecoveryEvent(
+                doc_dir,
+                "unrecoverable",
+                "current.xml torn and no checkpoint to replay from",
+            )
+        restored = serialize_bytes(replayed)
+        if pre_current is not None and sha256_bytes(restored) != pre_current:
+            return RecoveryEvent(
+                doc_dir,
+                "unrecoverable",
+                "replayed content does not match the recorded checksum",
+            )
+        atomic_write(current_path, restored, durability=self.durability)
+        fault_aware_unlink(delta_path)
+        fault_aware_unlink(journal_path)
+        return RecoveryEvent(
+            doc_dir,
+            "rolled-back-replay",
+            f"current.xml re-derived for version {journal.get('base_version')}",
+        )
+
+    # -- verification -----------------------------------------------------------
+
+    def verify(self, doc_id: str | None = None) -> list[Finding]:
+        """Audit checksums and structure; returns findings (empty = clean).
+
+        Verification never mutates the store; pair it with
+        :func:`repro.versioning.fsck.fsck_store` for repair.
+        """
+        if doc_id is not None:
+            doc_dir = self._doc_dir(doc_id)
+            if not os.path.isdir(doc_dir):
+                raise RepositoryError(f"unknown document {doc_id!r}")
+            return self._verify_dir(doc_dir)
+        findings: list[Finding] = []
+        for entry in sorted(os.listdir(self.base_path)):
+            doc_dir = os.path.join(self.base_path, entry)
+            if os.path.isdir(doc_dir):
+                findings.extend(self._verify_dir(doc_dir))
+        return findings
+
+    def _verify_dir(self, doc_dir: str) -> list[Finding]:
+        entry = os.path.basename(doc_dir)
+        findings: list[Finding] = []
+        names = sorted(os.listdir(doc_dir)) if os.path.isdir(doc_dir) else []
+        for name in names:
+            if is_temp_file(name):
+                findings.append(
+                    Finding(
+                        entry,
+                        "orphan-temp",
+                        os.path.join(doc_dir, name),
+                        "leftover atomic-write temp file",
+                        repairable=True,
+                    )
+                )
+        meta_path = os.path.join(doc_dir, META_NAME)
+        if not os.path.exists(meta_path):
+            findings.append(
+                Finding(
+                    entry,
+                    "incomplete-document",
+                    doc_dir,
+                    "document directory has no meta.json "
+                    "(crash before first commit)",
+                    repairable=True,
+                )
+            )
+            return findings
+        try:
+            meta = self._read_json(meta_path, "metadata")
+        except CorruptStoreError as exc:
+            findings.append(
+                Finding(entry, "corrupt-meta", meta_path, str(exc))
+            )
+            return findings
+        doc_label = str(meta.get("doc_id", entry))
+        if os.path.exists(os.path.join(doc_dir, JOURNAL_NAME)):
+            findings.append(
+                Finding(
+                    doc_label,
+                    "torn-commit",
+                    os.path.join(doc_dir, JOURNAL_NAME),
+                    "unresolved commit journal "
+                    "(recovery could not roll it back or forward)",
+                )
+            )
+        manifest_path = os.path.join(doc_dir, MANIFEST_NAME)
+        manifest_files: dict = {}
+        if not os.path.exists(manifest_path):
+            findings.append(
+                Finding(
+                    doc_label,
+                    "missing-manifest",
+                    manifest_path,
+                    "no checksum manifest (store predates manifests?)",
+                    repairable=True,
+                )
+            )
+        else:
+            try:
+                manifest_files = dict(
+                    self._read_json(manifest_path, "manifest").get(
+                        "files", {}
+                    )
+                )
+            except CorruptStoreError as exc:
+                findings.append(
+                    Finding(
+                        doc_label,
+                        "missing-manifest",
+                        manifest_path,
+                        str(exc),
+                        repairable=True,
+                    )
+                )
+        current_version = int(meta.get("current_version", 1))
+        for name, digest in sorted(manifest_files.items()):
+            path = os.path.join(doc_dir, name)
+            rederivable = name == CURRENT_NAME or bool(
+                _SNAPSHOT_FILE_RE.match(name)
+            )
+            if not os.path.exists(path):
+                findings.append(
+                    Finding(
+                        doc_label,
+                        "missing-file",
+                        path,
+                        f"{name} is listed in the manifest but missing",
+                        repairable=rederivable,
+                    )
+                )
+            elif sha256_file(path) != digest:
+                findings.append(
+                    Finding(
+                        doc_label,
+                        "checksum-mismatch",
+                        path,
+                        f"{name} does not match its recorded SHA-256",
+                        repairable=rederivable,
+                    )
+                )
+        for base in range(1, current_version):
+            name = self._delta_name(base)
+            path = os.path.join(doc_dir, name)
+            if not os.path.exists(path):
+                if name not in manifest_files:
+                    findings.append(
+                        Finding(
+                            doc_label,
+                            "missing-file",
+                            path,
+                            f"delta {base}->{base + 1} is missing",
+                        )
+                    )
+            elif manifest_files and name not in manifest_files:
+                findings.append(
+                    Finding(
+                        doc_label,
+                        "missing-checksum",
+                        path,
+                        f"{name} has no recorded checksum",
+                        repairable=True,
+                    )
+                )
+        snapshot_versions = {
+            int(v) for v in meta.get("snapshots", {})
+        }
+        for name in names:
+            path = os.path.join(doc_dir, name)
+            delta_match = _DELTA_FILE_RE.match(name)
+            snapshot_match = _SNAPSHOT_FILE_RE.match(name)
+            if delta_match and not (
+                1 <= int(delta_match.group(1)) < current_version
+            ):
+                findings.append(
+                    Finding(
+                        doc_label,
+                        "unexpected-file",
+                        path,
+                        f"{name} is outside the committed version range",
+                        repairable=True,
+                    )
+                )
+            elif snapshot_match and int(
+                snapshot_match.group(1)
+            ) not in snapshot_versions:
+                findings.append(
+                    Finding(
+                        doc_label,
+                        "unexpected-file",
+                        path,
+                        f"{name} is not referenced by the metadata",
+                        repairable=True,
+                    )
+                )
+        return findings
 
     # -- snapshot checkpoints ---------------------------------------------------
 
@@ -340,7 +849,18 @@ class DirectoryRepository(Repository):
 
     def store_snapshot(self, doc_id, version, document):
         meta = self._load_meta(doc_id)
-        write_file(document, self._snapshot_path(doc_id, version))
+        digest = atomic_write(
+            self._snapshot_path(doc_id, version),
+            serialize_bytes(document),
+            durability=self.durability,
+            faults=self.faults,
+            label="snapshot",
+        )
+        manifest = self._load_manifest(doc_id)
+        manifest.setdefault("files", {})[
+            f"snapshot-{version:04d}.xml"
+        ] = digest
+        self._store_manifest(doc_id, manifest)
         snapshots = meta.setdefault("snapshots", {})
         snapshots[str(version)] = _collect_xids(document)
         self._store_meta(doc_id, meta)
@@ -362,6 +882,57 @@ class DirectoryRepository(Repository):
     def snapshot_versions(self, doc_id):
         meta = self._load_meta(doc_id)
         return sorted(int(v) for v in meta.get("snapshots", {}))
+
+
+def _replay_from_snapshot(doc_dir: str, meta: dict, target_version: int):
+    """Re-derive ``target_version`` from the nearest checkpoint at or below.
+
+    Returns the reconstructed :class:`Document` (with XIDs restored), or
+    ``None`` when no checkpoint bounds the walk.  Raises
+    :class:`CorruptStoreError` when a file needed for the replay is
+    itself unreadable.
+    """
+    from repro.core.apply import apply_delta
+
+    snapshots = meta.get("snapshots", {})
+    candidates = [
+        int(version)
+        for version in snapshots
+        if int(version) <= target_version
+    ]
+    if not candidates:
+        return None
+    start = max(candidates)
+    snapshot_path = os.path.join(doc_dir, f"snapshot-{start:04d}.xml")
+    try:
+        document = parse_file(snapshot_path, strip_whitespace=False)
+    except FileNotFoundError:
+        return None
+    except XmlParseError as exc:
+        raise CorruptStoreError(
+            f"corrupt snapshot file {snapshot_path}: {exc}",
+            path=snapshot_path,
+        ) from exc
+    document.id_attributes = {
+        tuple(pair) for pair in meta.get("id_attributes", [])
+    }
+    _restore_xids(document, {"xid_labels": snapshots[str(start)]})
+    for base in range(start, target_version):
+        delta_path = os.path.join(
+            doc_dir, f"delta-{base:04d}-{base + 1:04d}.xml"
+        )
+        try:
+            delta = delta_from_document(
+                parse_file(delta_path, strip_whitespace=False)
+            )
+        except FileNotFoundError:
+            return None
+        except XmlParseError as exc:
+            raise CorruptStoreError(
+                f"corrupt delta file {delta_path}: {exc}", path=delta_path
+            ) from exc
+        document = apply_delta(delta, document, in_place=True)
+    return document
 
 
 def _collect_xids(document: Document) -> list[int]:

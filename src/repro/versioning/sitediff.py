@@ -28,6 +28,7 @@ from repro.core.config import DiffConfig
 from repro.core.delta import Delta
 from repro.core.deltaxml import delta_byte_size
 from repro.core.diff import diff
+from repro.xmlkit.errors import ReproError
 from repro.xmlkit.model import Document
 from repro.xmlkit.serializer import serialize_bytes
 
@@ -77,12 +78,17 @@ class SiteDelta:
         changed: Per-key deltas for documents present in both whose
             content differs (unchanged documents are omitted).
         unchanged: Keys present in both with identical content.
+        failed: Keys whose comparison failed (parse or diff error),
+            mapped to a one-line error description.  A crawl of the
+            open web meets malformed documents routinely; one bad page
+            must not abort the whole snapshot.
     """
 
     added: list[str] = field(default_factory=list)
     removed: list[str] = field(default_factory=list)
     changed: dict[str, Delta] = field(default_factory=dict)
     unchanged: list[str] = field(default_factory=list)
+    failed: dict[str, str] = field(default_factory=dict)
 
     @property
     def documents_touched(self) -> int:
@@ -110,11 +116,29 @@ class SiteDelta:
             "removed": len(self.removed),
             "changed": len(self.changed),
             "unchanged": len(self.unchanged),
+            "failed": len(self.failed),
         }
 
     def __repr__(self):
         parts = ", ".join(f"{k}={v}" for k, v in self.summary().items())
         return f"<SiteDelta {parts}>"
+
+
+def record_site_error(
+    result: SiteDelta, key: str, error: Exception, metrics=None
+) -> None:
+    """Record one per-document failure on a site delta.
+
+    Shared by :func:`diff_sites` and snapshot loaders (the CLI) so every
+    failure lands in :attr:`SiteDelta.failed` *and* in the
+    ``repro_errors_total`` counter with the same labels.
+    """
+    result.failed[key] = f"{type(error).__name__}: {error}"
+    if metrics is not None:
+        metrics.counter(
+            "repro_errors_total",
+            help="Errors isolated instead of aborting an operation.",
+        ).inc(component="sitediff", error=type(error).__name__)
 
 
 def diff_sites(
@@ -124,12 +148,21 @@ def diff_sites(
     *,
     tracer=None,
     metrics=None,
+    on_error: str = "record",
 ) -> SiteDelta:
     """Compute the site delta between two snapshots.
 
     Documents are matched by key; matched pairs are diffed with BULD.
     The input documents receive XIDs as a side effect, exactly as
     :func:`repro.core.diff.diff` documents.
+
+    A failure while comparing one pair (a malformed tree, a diff
+    error) is isolated by default: the key moves to
+    :attr:`SiteDelta.failed`, the ``repro_errors_total`` metric is
+    incremented, the document's ``sitediff.doc`` span is tagged with an
+    ``error`` attribute, and the remaining documents are still
+    processed.  Pass ``on_error="raise"`` to abort on the first failure
+    instead.
 
     Args:
         tracer: Optional :class:`repro.obs.trace.Tracer`; the whole run
@@ -139,8 +172,13 @@ def diff_sites(
             site-snapshot measurement as a trace.
         metrics: Optional :class:`repro.obs.metrics.MetricsRegistry`;
             per-document diffs feed the shared stage histograms and
-            ``repro_diffs_total``.
+            ``repro_diffs_total``; isolated failures feed
+            ``repro_errors_total``.
+        on_error: ``"record"`` (default, degrade gracefully) or
+            ``"raise"``.
     """
+    if on_error not in ("record", "raise"):
+        raise ValueError(f"on_error must be 'record' or 'raise', not {on_error!r}")
     if config is None:
         config = DiffConfig()
     result = SiteDelta()
@@ -159,29 +197,18 @@ def diff_sites(
         for key in sorted(old_keys & new_keys):
             old_document = old_snapshot.get(key)
             new_document = new_snapshot.get(key)
-            if old_document.deep_equal(new_document):
-                result.unchanged.append(key)
-                continue
-            if tracer is None and metrics is None:
-                delta = diff(old_document, new_document, config)
-            else:
-                from contextlib import nullcontext
-
-                from repro.core.diff import diff_with_stats
-
-                doc_span = (
-                    tracer.span("sitediff.doc", key=key)
-                    if tracer is not None
-                    else nullcontext()
+            try:
+                if old_document.deep_equal(new_document):
+                    result.unchanged.append(key)
+                    continue
+                delta = _diff_one(
+                    old_document, new_document, config, key, tracer, metrics
                 )
-                with doc_span:
-                    delta, _ = diff_with_stats(
-                        old_document,
-                        new_document,
-                        config,
-                        tracer=tracer,
-                        metrics=metrics,
-                    )
+            except ReproError as error:
+                if on_error == "raise":
+                    raise
+                record_site_error(result, key, error, metrics)
+                continue
             if delta.is_empty():
                 result.unchanged.append(key)
             else:
@@ -189,5 +216,36 @@ def diff_sites(
     finally:
         if site_span is not None:
             site_span.attrs["changed"] = len(result.changed)
+            if result.failed:
+                site_span.attrs["failed"] = len(result.failed)
             tracer.end_span(site_span)
     return result
+
+
+def _diff_one(old_document, new_document, config, key, tracer, metrics):
+    """Diff one matched pair, tagging the document span on failure."""
+    if tracer is None and metrics is None:
+        return diff(old_document, new_document, config)
+    from contextlib import nullcontext
+
+    from repro.core.diff import diff_with_stats
+
+    doc_span = (
+        tracer.span("sitediff.doc", key=key)
+        if tracer is not None
+        else nullcontext()
+    )
+    with doc_span as span:
+        try:
+            delta, _ = diff_with_stats(
+                old_document,
+                new_document,
+                config,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        except ReproError as error:
+            if span is not None:
+                span.attrs["error"] = f"{type(error).__name__}: {error}"
+            raise
+    return delta

@@ -26,19 +26,34 @@ class ReproError(Exception):
 class XmlParseError(ReproError):
     """Raised when a document cannot be parsed into the tree model.
 
-    Carries the parser's best guess at a location so tooling can point at
-    the offending input.
+    Carries the parser's best guess at a location so tooling can point
+    at the offending input: :attr:`line` / :attr:`column` (1-based, when
+    known), :attr:`source` (the file the text came from, when known) and
+    :attr:`message` (the bare parser message without the location
+    suffix).  :meth:`location` formats the conventional
+    ``file:line:column: message`` one-liner compilers emit.
     """
 
-    def __init__(self, message, line=None, column=None):
+    def __init__(self, message, line=None, column=None, source=None):
         location = ""
         if line is not None:
             location = f" (line {line}" + (
                 f", column {column})" if column is not None else ")"
             )
         super().__init__(message + location)
+        self.message = message
         self.line = line
         self.column = column
+        self.source = source
+
+    def location(self) -> str:
+        """``<file>:<line>:<col>: <message>`` with unknown parts omitted."""
+        prefix = [str(self.source) if self.source else "<input>"]
+        if self.line is not None:
+            prefix.append(str(self.line))
+            if self.column is not None:
+                prefix.append(str(self.column))
+        return ":".join(prefix) + f": {self.message}"
 
 
 class XmlSerializeError(ReproError):

@@ -17,6 +17,7 @@ byte-for-byte, e.g. for round-trip tests.
 from __future__ import annotations
 
 import io
+import os
 from typing import Optional, Union
 from xml.parsers import expat
 
@@ -108,6 +109,7 @@ def parse(
     strip_whitespace: bool = True,
     dtd: Optional[Dtd] = None,
     id_attributes: Optional[set[tuple[str, str]]] = None,
+    origin: Optional[str] = None,
 ) -> Document:
     """Parse XML text into a :class:`Document`.
 
@@ -118,6 +120,9 @@ def parse(
             merged into the document's ``id_attributes``.
         id_attributes: Extra ``(element, attribute)`` pairs to treat as
             ID-typed even without a DTD (a common deployment shortcut).
+        origin: Name of where the text came from (a file path, a URL);
+            attached to any :class:`XmlParseError` as its ``source`` so
+            tooling can print ``file:line:column`` diagnostics.
 
     Returns:
         The parsed :class:`Document`.
@@ -134,17 +139,20 @@ def parse(
         else:
             parser.Parse(source, True)
     except expat.ExpatError as exc:
+        # expat's offset is 0-based; report the conventional 1-based column.
+        offset = getattr(exc, "offset", None)
         raise XmlParseError(
             expat.errors.messages[exc.code]
             if 0 <= exc.code < len(expat.errors.messages)
             else str(exc),
             line=getattr(exc, "lineno", None),
-            column=getattr(exc, "offset", None),
+            column=offset + 1 if offset is not None else None,
+            source=origin,
         ) from exc
 
     document = builder.document
     if document.root is None:
-        raise XmlParseError("document has no root element")
+        raise XmlParseError("document has no root element", source=origin)
     if dtd is not None:
         document.id_attributes.update(dtd.id_attributes())
         if document.doctype_name is None:
@@ -164,12 +172,15 @@ def parse_file(
     """Parse an XML file (path-like or binary file object) into a Document."""
     if hasattr(path, "read"):
         data = path.read()
+        origin = getattr(path, "name", None)
     else:
         with io.open(path, "rb") as handle:
             data = handle.read()
+        origin = os.fspath(path)
     return parse(
         data,
         strip_whitespace=strip_whitespace,
         dtd=dtd,
         id_attributes=id_attributes,
+        origin=origin,
     )

@@ -1,0 +1,65 @@
+"""Property: the stored delta chain is a faithful history.
+
+For random simulator change sequences committed to a directory store,
+replaying the stored deltas forward from version 1 reproduces every
+committed snapshot byte-for-byte — and replaying backward from the
+current version via delta inversion reproduces them again.  This is the
+paper's "completed deltas" promise (§5) expressed over the actual bytes
+the crash-safe store persisted.
+"""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.apply import apply_delta
+from repro.simulator import (
+    GeneratorConfig,
+    SimulatorConfig,
+    generate_document,
+    simulate_changes,
+)
+from repro.versioning import DirectoryRepository
+from repro.versioning.version_control import VersionStore
+from repro.xmlkit.serializer import serialize_bytes
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**16), steps=st.integers(1, 4))
+def test_replay_reproduces_every_committed_snapshot(seed, steps):
+    with tempfile.TemporaryDirectory() as root:
+        repo = DirectoryRepository(root)
+        store = VersionStore(repo, checkpoint_every=2)
+        document = generate_document(
+            GeneratorConfig(target_nodes=60, seed=seed)
+        )
+        store.create("doc", document)
+        committed = [serialize_bytes(store.get_current("doc"))]
+        for step in range(steps):
+            changed = simulate_changes(
+                store.get_current("doc"),
+                SimulatorConfig(0.1, 0.15, 0.1, 0.05, seed=seed + step + 1),
+            ).new_document
+            store.commit("doc", changed)
+            committed.append(serialize_bytes(store.get_current("doc")))
+
+        # forward: v1 + stored deltas reproduces each version's bytes
+        replayed = store.get_version("doc", 1)
+        assert serialize_bytes(replayed) == committed[0]
+        for base in range(1, steps + 1):
+            replayed = apply_delta(
+                store.delta("doc", base), replayed, in_place=True
+            )
+            assert serialize_bytes(replayed) == committed[base]
+
+        # backward: current + inverted deltas walks the history back
+        replayed = store.get_current("doc")
+        for base in range(steps, 0, -1):
+            replayed = apply_delta(
+                store.delta("doc", base).inverted(), replayed, in_place=True
+            )
+            assert serialize_bytes(replayed) == committed[base - 1]
+
+        # and the store the walk was read from audits clean
+        assert repo.verify() == []

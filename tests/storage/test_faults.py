@@ -1,0 +1,92 @@
+"""Tests for the fault injector itself."""
+
+import pytest
+
+from repro.storage.atomic import atomic_write, fault_aware_unlink
+from repro.testing import (
+    FaultInjector,
+    InjectedCrash,
+    InjectedFault,
+    InjectedIOError,
+)
+
+
+class TestFaultInjector:
+    def test_probe_mode_records_ops(self, tmp_path):
+        faults = FaultInjector()
+        atomic_write(tmp_path / "a", b"1", faults=faults, label="first")
+        atomic_write(tmp_path / "b", b"2", faults=faults, label="second")
+        fault_aware_unlink(tmp_path / "a", faults=faults, label="clean")
+        assert faults.ops == [
+            ("write", "first"),
+            ("write", "second"),
+            ("unlink", "clean"),
+        ]
+        assert not faults.fired
+
+    def test_crash_after_n(self, tmp_path):
+        faults = FaultInjector(crash_after=1)
+        atomic_write(tmp_path / "a", b"1", faults=faults)
+        with pytest.raises(InjectedCrash) as info:
+            atomic_write(tmp_path / "b", b"2", faults=faults)
+        assert faults.fired
+        assert info.value.label == "b"
+        # the faulted op was not recorded; the target was not written
+        assert faults.ops == [("write", "a")]
+        assert not (tmp_path / "b").exists()
+
+    def test_fires_only_once(self, tmp_path):
+        faults = FaultInjector(crash_after=0)
+        with pytest.raises(InjectedCrash):
+            atomic_write(tmp_path / "a", b"1", faults=faults)
+        # after firing, subsequent ops succeed (the restarted process)
+        atomic_write(tmp_path / "b", b"2", faults=faults)
+        assert (tmp_path / "b").read_bytes() == b"2"
+
+    def test_label_targeting(self, tmp_path):
+        faults = FaultInjector(crash_after=0, label="meta")
+        atomic_write(tmp_path / "a", b"1", faults=faults, label="current")
+        with pytest.raises(InjectedCrash):
+            atomic_write(tmp_path / "b", b"2", faults=faults, label="meta")
+
+    def test_eio_mode(self, tmp_path):
+        import errno
+
+        faults = FaultInjector(crash_after=0, mode="eio")
+        with pytest.raises(InjectedIOError) as info:
+            atomic_write(tmp_path / "a", b"1", faults=faults)
+        assert info.value.errno == errno.EIO
+        assert isinstance(info.value, InjectedFault)
+        assert isinstance(info.value, OSError)
+
+    def test_torn_mode_tears_target(self, tmp_path):
+        target = tmp_path / "a"
+        target.write_bytes(b"old content entirely")
+        faults = FaultInjector(crash_after=0, mode="torn")
+        with pytest.raises(InjectedCrash):
+            atomic_write(target, b"new content entirely", faults=faults)
+        torn = target.read_bytes()
+        assert torn == b"new content entirely"[: len(b"new content entirely") // 2]
+
+    def test_torn_unlink_degrades_to_crash(self, tmp_path):
+        target = tmp_path / "a"
+        target.write_bytes(b"x")
+        faults = FaultInjector(crash_after=0, mode="torn")
+        with pytest.raises(InjectedCrash):
+            fault_aware_unlink(target, faults=faults)
+        assert target.read_bytes() == b"x"
+
+    def test_reset_rearms(self, tmp_path):
+        faults = FaultInjector(crash_after=0)
+        with pytest.raises(InjectedCrash):
+            atomic_write(tmp_path / "a", b"1", faults=faults)
+        faults.reset()
+        assert not faults.fired
+        with pytest.raises(InjectedCrash):
+            atomic_write(tmp_path / "a", b"1", faults=faults)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(mode="lightning")
+        with pytest.raises(ValueError):
+            FaultInjector(crash_after=-1)

@@ -38,8 +38,19 @@ class TestDiffCommand:
         bad.write_text("<a><b></a>")
         ok = tmp_path / "ok.xml"
         ok.write_text("<a/>")
-        assert main(["diff", str(bad), str(ok)]) == 1
-        assert "error" in capsys.readouterr().err
+        assert main(["diff", str(bad), str(ok)]) == 2
+        err = capsys.readouterr().err
+        # compiler-style one-liner: error: <file>:<line>:<col>: <message>
+        assert err.startswith(f"error: {bad}:1:")
+        assert "mismatched tag" in err
+
+    def test_malformed_xml_stats(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a>&undefined;</a>")
+        ok = tmp_path / "ok.xml"
+        ok.write_text("<a/>")
+        assert main(["stats", str(ok), str(bad)]) == 2
+        assert f"error: {bad}:1:" in capsys.readouterr().err
 
 
 class TestApplyRevert:
@@ -198,6 +209,37 @@ class TestNewSubcommands:
         assert "update=1" in out
         written = list(deltas_dir.glob("*.delta.xml"))
         assert len(written) == 1
+
+    def test_sitediff_malformed_document_isolated(self, tmp_path, capsys):
+        """A bad page is reported but the rest of the site still diffs."""
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        (old_dir / "good.xml").write_text("<p><v>1</v></p>")
+        (new_dir / "good.xml").write_text("<p><v>2</v></p>")
+        (old_dir / "bad.xml").write_text("<p>fine</p>")
+        (new_dir / "bad.xml").write_text("<p><broken</p>")
+
+        assert main(["sitediff", str(old_dir), str(new_dir)]) == 2
+        captured = capsys.readouterr()
+        assert "changed   good.xml" in captured.out
+        assert "failed    bad.xml" in captured.out
+        assert "'failed': 1" in captured.out
+        assert f"error: {new_dir / 'bad.xml'}:1:" in captured.err
+
+    def test_sitediff_one_sided_parse_failure_not_added(
+        self, tmp_path, capsys
+    ):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        (new_dir / "only.xml").write_text("<p><broken</p>")
+        assert main(["sitediff", str(old_dir), str(new_dir)]) == 2
+        out = capsys.readouterr().out
+        assert "added" not in out.splitlines()[0]
+        assert "failed    only.xml" in out
 
     def test_validate_detects_problems(self, tmp_path, capsys):
         bad = tmp_path / "bad.xml"

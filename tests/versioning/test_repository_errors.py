@@ -19,11 +19,40 @@ def make_repo(tmp_path):
 
 class TestCorruption:
     def test_corrupt_meta_json(self, tmp_path):
+        from repro.versioning import CorruptStoreError
+
         repo = make_repo(tmp_path)
         meta_path = tmp_path / "store" / "d1" / "meta.json"
         meta_path.write_text("{not json")
-        with pytest.raises(RepositoryError):
+        with pytest.raises(CorruptStoreError) as info:
             repo.load_current("d1")
+        # the typed error names the offending file
+        assert info.value.path == str(meta_path)
+        # CorruptStoreError stays a RepositoryError: one catch suffices
+        assert isinstance(info.value, RepositoryError)
+
+    def test_corrupt_delta_file(self, tmp_path):
+        from repro.core import DiffConfig, diff
+        from repro.versioning import CorruptStoreError
+
+        repo = make_repo(tmp_path)
+        old = repo.load_current("d1")
+        new = parse("<a><b>y</b></a>")
+        delta = diff(old, new, DiffConfig())
+        repo.append("d1", delta, new, repo.load_allocator("d1"))
+        delta_path = tmp_path / "store" / "d1" / "delta-0001-0002.xml"
+        delta_path.write_text("<delta truncated")
+        with pytest.raises(CorruptStoreError) as info:
+            repo.load_delta("d1", 1)
+        assert info.value.path == str(delta_path)
+
+    def test_unknown_document_stays_plain_repository_error(self, tmp_path):
+        from repro.versioning import CorruptStoreError
+
+        repo = make_repo(tmp_path)
+        with pytest.raises(RepositoryError) as info:
+            repo.load_current("missing")
+        assert not isinstance(info.value, CorruptStoreError)
 
     def test_xid_labels_length_mismatch(self, tmp_path):
         repo = make_repo(tmp_path)

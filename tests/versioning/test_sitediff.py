@@ -5,6 +5,7 @@ import pytest
 from repro.core import apply_delta
 from repro.versioning.sitediff import SiteDelta, SiteSnapshot, diff_sites
 from repro.xmlkit import parse
+from repro.xmlkit.errors import ReproError
 
 
 def snapshot(**documents):
@@ -12,6 +13,19 @@ def snapshot(**documents):
     for key, text in documents.items():
         snap.add(key.replace("_", "/"), parse(text))
     return snap
+
+
+class _Exploding:
+    """Stands in for a document whose comparison always fails."""
+
+    def deep_equal(self, other):
+        raise ReproError("boom")
+
+
+def _walk_spans(span):
+    yield span
+    for child in span.children:
+        yield from _walk_spans(child)
 
 
 class TestSiteSnapshot:
@@ -70,6 +84,7 @@ class TestDiffSites:
             "removed": 0,
             "changed": 0,
             "unchanged": 0,
+            "failed": 0,
         }
         assert delta.change_ratio() == 0.0
 
@@ -93,6 +108,70 @@ class TestDiffSites:
         assert diff_sites(old, new).delta_bytes() == 0
         new2 = snapshot(a="<p>diff</p>")
         assert diff_sites(old, new2).delta_bytes() > 0
+
+    def test_failed_document_isolated(self):
+        """One broken pair must not abort the snapshot (robustness)."""
+        old = snapshot(a="<p>one</p>", b="<p>two</p>")
+        new = snapshot(a="<p>ONE</p>", b="<p>two</p>")
+        old._documents["broken"] = _Exploding()
+        new._documents["broken"] = _Exploding()
+        delta = diff_sites(old, new)
+        assert list(delta.failed) == ["broken"]
+        assert delta.failed["broken"] == "ReproError: boom"
+        assert list(delta.changed) == ["a"]
+        assert delta.unchanged == ["b"]
+        assert delta.summary()["failed"] == 1
+
+    def test_on_error_raise_aborts(self):
+        old = snapshot(a="<p>one</p>")
+        new = snapshot(a="<p>ONE</p>")
+        old._documents["broken"] = _Exploding()
+        new._documents["broken"] = _Exploding()
+        with pytest.raises(ReproError):
+            diff_sites(old, new, on_error="raise")
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            diff_sites(SiteSnapshot(), SiteSnapshot(), on_error="ignore")
+
+    def test_failure_counted_in_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        old = snapshot(a="<p>one</p>")
+        new = snapshot(a="<p>ONE</p>")
+        old._documents["broken"] = _Exploding()
+        new._documents["broken"] = _Exploding()
+        metrics = MetricsRegistry()
+        diff_sites(old, new, metrics=metrics)
+        counter = metrics.counter("repro_errors_total")
+        assert (
+            counter.value(component="sitediff", error="ReproError") == 1
+        )
+
+    def test_failure_tags_doc_span(self, monkeypatch):
+        import importlib
+
+        from repro.obs import Tracer
+
+        diff_module = importlib.import_module("repro.core.diff")
+
+        def explode(*args, **kwargs):
+            raise ReproError("engine died")
+
+        monkeypatch.setattr(diff_module, "diff_with_stats", explode)
+        old = snapshot(a="<p>one</p>")
+        new = snapshot(a="<p>ONE</p>")
+        tracer = Tracer()
+        delta = diff_sites(old, new, tracer=tracer)
+        assert delta.failed == {"a": "ReproError: engine died"}
+        doc_spans = [
+            span
+            for root in tracer.roots
+            for span in _walk_spans(root)
+            if span.name == "sitediff.doc"
+        ]
+        assert len(doc_spans) == 1
+        assert doc_spans[0].attrs["error"] == "ReproError: engine died"
 
     def test_with_web_corpus(self):
         """End to end on the simulated crawl: week-over-week site diff."""

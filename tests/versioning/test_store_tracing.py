@@ -130,6 +130,7 @@ class TestSiteDiffTracing:
             "removed": 0,
             "changed": 1,
             "unchanged": 1,
+            "failed": 0,
         }
 
     def test_sitediff_metrics_without_tracer(self):
