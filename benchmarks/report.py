@@ -1,640 +1,84 @@
 """Full experiment sweeps: regenerate every figure of the paper's Section 6.
 
-Each function prints the same series the corresponding figure plots and
-writes a plain-text report under ``bench_results/``.  Run them all (about
-10-20 minutes, dominated by the largest documents):
+This is a thin driver over the instrumented harness in
+:mod:`repro.obs.bench` — the same registered cases that back ``xydiff
+bench``.  Each experiment is run once, producing:
+
+- ``BENCH_<ID>.json`` at the repo root — the schema-versioned payload
+  (the repo's recorded perf trajectory; ``xydiff bench --compare``
+  gates against it);
+- ``bench_results/<ID>.txt`` — the plain-text report, which is a pure
+  rendering of that JSON (``repro.obs.bench.render_text``), not a
+  separate measurement code path.
+
+Run them all (full scale is dominated by the largest documents):
 
     python -m benchmarks.report            # everything
     python -m benchmarks.report FIG4       # one experiment
-    python -m benchmarks.report FIG4 --fast  # reduced sizes (~1 minute)
+    python -m benchmarks.report FIG4 --fast  # reduced sizes (seconds)
 
 Experiment ids match DESIGN.md: FIG4 (phase times vs size), FIG5 (delta
 quality vs the synthetic perfect delta), FIG6 (delta over Unix-diff size
 on the simulated web corpus, plus the <10%-of-document claim), SITE (the
 INRIA-scale site snapshot), COMP (baseline comparison/crossover), QUAL
-(distance from the move-less optimum).
+(distance from the move-less optimum), ABL (tuning knobs), STORE
+(commit-loop reuse).
 """
 
 from __future__ import annotations
 
 import os
 import sys
-import time
 
-from repro.baselines import ladiff_diff, lu_diff, tree_edit_distance, unix_diff_size
-from repro.core import (
-    delta_byte_size,
-    diff,
-    diff_with_stats,
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
 )
-from repro.simulator import (
-    GeneratorConfig,
-    SimulatorConfig,
-    WebCorpus,
-    WebCorpusConfig,
-    evolve_site,
-    generate_catalog,
-    generate_document,
-    generate_site_snapshot,
-    simulate_changes,
-)
-from repro.xmlkit import parse, serialize, serialize_bytes
+RESULTS_DIR = os.path.join(REPO_ROOT, "bench_results")
 
-RESULTS_DIR = os.path.normpath(
-    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "bench_results")
-)
-
-__all__ = ["main", "run_comp", "run_fig4", "run_fig5", "run_fig6",
-           "run_qual", "run_site"]
-
-
-class Report:
-    """Collects lines, prints them live, writes them to a file at the end."""
-
-    def __init__(self, experiment_id: str):
-        self.experiment_id = experiment_id
-        self.lines: list[str] = []
-
-    def line(self, text: str = "") -> None:
-        print(text)
-        self.lines.append(text)
-
-    def save(self) -> str:
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        path = os.path.join(RESULTS_DIR, f"{self.experiment_id}.txt")
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write("\n".join(self.lines) + "\n")
-        return path
-
-
-def _fresh_pair(old, new):
-    return old.clone(keep_xids=False), new.clone(keep_xids=False)
-
-
-def _simulated_pair(nodes, doc_seed, sim_seed, rate=0.10):
-    base = generate_document(GeneratorConfig(target_nodes=nodes, seed=doc_seed))
-    result = simulate_changes(
-        base, SimulatorConfig(rate, rate, rate, rate, seed=sim_seed)
-    )
-    return base, result.new_document, result.perfect_delta
-
-
-# ---------------------------------------------------------------------------
-# FIG4 — time cost for the different phases, log-log vs total size
-# ---------------------------------------------------------------------------
-
-
-def run_fig4(fast: bool = False) -> Report:
-    report = Report("FIG4")
-    report.line("FIG4 — Time cost for the different phases (Figure 4)")
-    report.line(
-        "change mix: 10% delete/update/insert/move per node "
-        "(the paper's setting)"
-    )
-    report.line()
-    header = (
-        f"{'bytes':>10} {'nodes':>8} | {'p1+p2 us':>12} {'p3 us':>10} "
-        f"{'p4 us':>10} {'p5 us':>10} | {'total us':>12}"
-    )
-    report.line(header)
-    report.line("-" * len(header))
-
-    sizes = [200, 600, 2_000, 6_000, 20_000] if fast else [
-        200, 600, 2_000, 6_000, 20_000, 60_000, 150_000
-    ]
-    rows = []
-    for nodes in sizes:
-        old_master, new_master, _ = _simulated_pair(nodes, 1, 2)
-        best: dict[str, float] = {}
-        repeats = 3 if nodes <= 20_000 else 1
-        for _ in range(repeats):
-            old, new = _fresh_pair(old_master, new_master)
-            _, stats = diff_with_stats(old, new)
-            for phase, seconds in stats.phase_seconds.items():
-                best[phase] = min(best.get(phase, float("inf")), seconds)
-        total_size = len(serialize_bytes(old_master)) + len(
-            serialize_bytes(new_master)
-        )
-        microseconds = {k: v * 1e6 for k, v in best.items()}
-        p12 = microseconds["phase1"] + microseconds["phase2"]
-        total = sum(microseconds.values())
-        rows.append((total_size, total))
-        report.line(
-            f"{total_size:>10} {nodes:>8} | {p12:>12.0f} "
-            f"{microseconds['phase3']:>10.0f} {microseconds['phase4']:>10.0f} "
-            f"{microseconds['phase5']:>10.0f} | {total:>12.0f}"
-        )
-
-    report.line()
-    # quasi-linearity: fit the log-log slope of total time vs size
-    import math
-
-    slope = (math.log(rows[-1][1]) - math.log(rows[0][1])) / (
-        math.log(rows[-1][0]) - math.log(rows[0][0])
-    )
-    report.line(f"log-log slope of total time vs size: {slope:.2f}")
-    report.line("paper: 'almost linear in time' (slope ~1; quadratic would be ~2)")
-    return report
-
-
-# ---------------------------------------------------------------------------
-# FIG5 — computed delta size vs synthetic (perfect) delta size
-# ---------------------------------------------------------------------------
-
-
-def run_fig5(fast: bool = False) -> Report:
-    report = Report("FIG5")
-    report.line("FIG5 — Quality of Diff: computed vs synthetic delta (Figure 5)")
-    report.line()
-    header = (
-        f"{'doc bytes':>10} {'rate':>5} | {'perfect B':>10} "
-        f"{'computed B':>10} {'ratio':>6}"
-    )
-    report.line(header)
-    report.line("-" * len(header))
-
-    sizes = [300, 1_000, 4_000] if fast else [300, 1_000, 4_000, 16_000]
-    rates = [0.01, 0.03, 0.10, 0.30, 0.50]
-    ratios = []
-    mid_ratios = []
-    for nodes in sizes:
-        for rate in rates:
-            base, new_doc, perfect = _simulated_pair(
-                nodes, doc_seed=nodes, sim_seed=int(rate * 1000), rate=rate
-            )
-            old, new = _fresh_pair(base, new_doc)
-            computed = diff(old, new)
-            perfect_size = delta_byte_size(perfect)
-            computed_size = delta_byte_size(computed)
-            ratio = computed_size / perfect_size if perfect_size else 1.0
-            ratios.append(ratio)
-            if 0.2 <= rate <= 0.4:
-                mid_ratios.append(ratio)
-            report.line(
-                f"{len(serialize_bytes(base)):>10} {rate:>5.2f} | "
-                f"{perfect_size:>10} {computed_size:>10} {ratio:>6.2f}"
-            )
-    report.line()
-    average = sum(ratios) / len(ratios)
-    report.line(f"average computed/perfect ratio: {average:.2f}")
-    if mid_ratios:
-        mid = sum(mid_ratios) / len(mid_ratios)
-        report.line(
-            f"at ~30% change (many moves):    {mid:.2f}  "
-            "(paper: 'about fifty percent larger')"
-        )
-    report.line(
-        f"best ratio observed:            {min(ratios):.2f}  "
-        "(paper: sometimes beats the synthetic delta)"
-    )
-    return report
-
-
-# ---------------------------------------------------------------------------
-# FIG6 — delta size over Unix diff size, on the simulated web corpus
-# ---------------------------------------------------------------------------
-
-
-def run_fig6(fast: bool = False) -> Report:
-    report = Report("FIG6")
-    report.line("FIG6 — Delta over Unix Diff size ratio (Figure 6)")
-    report.line("workload: simulated weekly-changing web XML (see DESIGN.md)")
-    report.line()
-    header = (
-        f"{'doc bytes':>10} | {'unix B':>8} {'delta B':>8} {'ratio':>6} "
-        f"{'delta/doc':>9}"
-    )
-    report.line(header)
-    report.line("-" * len(header))
-
-    from repro.baselines import flatten
-
-    def line_form(document):
-        return "".join(token + "\n" for token in flatten(document))
-
-    corpus = WebCorpus(
-        WebCorpusConfig(
-            documents=10 if fast else 40,
-            min_bytes=400,
-            max_bytes=60_000 if fast else 600_000,
-            seed=6,
-        )
-    )
-    ratios = []
-    large_doc_fractions = []
-    for index in range(corpus.config.documents):
-        old, new = corpus.weekly_versions(index, weeks=1)
-        doc_bytes = len(serialize_bytes(old))
-        unix_size = unix_diff_size(line_form(old), line_form(new))
-        delta = diff(*_fresh_pair(old, new))
-        delta_size = delta_byte_size(delta)
-        if unix_size == 0:
-            continue
-        ratio = delta_size / unix_size
-        ratios.append(ratio)
-        doc_fraction = delta_size / doc_bytes
-        if doc_bytes > 100_000:
-            large_doc_fractions.append(doc_fraction)
-        report.line(
-            f"{doc_bytes:>10} | {unix_size:>8} {delta_size:>8} "
-            f"{ratio:>6.2f} {doc_fraction:>9.1%}"
-        )
-
-    report.line()
-    average = sum(ratios) / len(ratios)
-    report.line(
-        f"average delta/unix-diff ratio: {average:.2f}  "
-        "(paper: 'on average roughly the size of the Unix Diff result')"
-    )
-    if large_doc_fractions:
-        report.line(
-            f"delta/document for >100KB docs at the default weekly profile: "
-            f"{sum(large_doc_fractions) / len(large_doc_fractions):.1%}"
-        )
-
-    # DELTA10 — the paper's <10% claim is about *lightly* changing large
-    # documents; rerun the big documents with a quiet profile.
-    report.line()
-    report.line("DELTA10 — large documents, quiet change profile:")
-    quiet_fractions = []
-    for index in range(corpus.config.documents):
-        old = corpus.generate(index)
-        doc_bytes = len(serialize_bytes(old))
-        if doc_bytes <= 100_000:
-            continue
-        quiet = SimulatorConfig(
-            delete_probability=0.002,
-            update_probability=0.01,
-            insert_probability=0.003,
-            move_probability=0.001,
-            seed=index + 900,
-        )
-        new = simulate_changes(old, quiet).new_document
-        delta = diff(*_fresh_pair(old, new))
-        fraction = delta_byte_size(delta) / doc_bytes
-        quiet_fractions.append(fraction)
-        report.line(f"  {doc_bytes:>10} bytes -> delta {fraction:.1%} of doc")
-    if quiet_fractions:
-        report.line(
-            f"  average: {sum(quiet_fractions) / len(quiet_fractions):.1%}  "
-            "(paper: 'less than 10 percent of the size of the document')"
-        )
-    return report
-
-
-# ---------------------------------------------------------------------------
-# SITE — the INRIA web-site snapshot experiment
-# ---------------------------------------------------------------------------
-
-
-def run_site(fast: bool = False) -> Report:
-    report = Report("SITE")
-    pages = 2_000 if fast else 14_000
-    report.line(f"SITE — web-site snapshot diff ({pages} pages; Section 6.2)")
-    report.line()
-    build_start = time.perf_counter()
-    old = generate_site_snapshot(pages=pages, sections=20, seed=31)
-    new = evolve_site(old, seed=32)
-    report.line(f"snapshot built in {time.perf_counter() - build_start:.1f}s")
-    old_text = serialize(old)
-    new_text = serialize(new)
-    report.line(
-        f"snapshot: {old.subtree_size() - 1} nodes, "
-        f"{len(old_text.encode()) / 1e6:.2f} MB "
-        "(paper: ~14k pages, ~5 MB)"
-    )
-
-    start = time.perf_counter()
-    parsed_old = parse(old_text)
-    parsed_new = parse(new_text)
-    read_seconds = time.perf_counter() - start
-
-    delta, stats = diff_with_stats(parsed_old, parsed_new)
-
-    start = time.perf_counter()
-    from repro.core import serialize_delta
-
-    delta_text = serialize_delta(delta)
-    write_seconds = time.perf_counter() - start
-
-    total = read_seconds + stats.total_seconds + write_seconds
-    report.line()
-    report.line(f"read (parse both snapshots): {read_seconds:8.2f}s")
-    for phase in ("phase1", "phase2", "phase3", "phase4", "phase5"):
-        report.line(f"{phase}:                      {stats.phase_seconds[phase]:8.2f}s")
-    report.line(f"write delta:                 {write_seconds:8.2f}s")
-    report.line(f"end to end:                  {total:8.2f}s")
-    report.line()
-    report.line(
-        f"core (phases 3+4): {stats.core_seconds:.2f}s of {total:.2f}s "
-        f"({stats.core_seconds / total:.0%}) — paper: <2s of ~30s"
-    )
-    report.line(
-        f"delta size: {len(delta_text.encode()) / 1e6:.2f} MB "
-        "(paper: ~1 MB for the 5 MB site)"
-    )
-    report.line(f"operations: {stats.operation_counts}")
-    return report
-
-
-# ---------------------------------------------------------------------------
-# COMP — baselines: speed scaling and delta sizes
-# ---------------------------------------------------------------------------
-
-
-def run_comp(fast: bool = False) -> Report:
-    report = Report("COMP")
-    report.line("COMP — BULD vs baselines (Section 3 claims)")
-    report.line("workload: product catalogs (wide same-label parents)")
-    report.line()
-    header = (
-        f"{'products':>9} {'nodes':>7} | {'BULD ms':>9} {'Lu ms':>9} "
-        f"{'LaDiff ms':>9} | {'BULD B':>8} {'Lu B':>8} {'LaDiff B':>8}"
-    )
-    report.line(header)
-    report.line("-" * len(header))
-
-    product_counts = [25, 50, 100, 200] if fast else [25, 50, 100, 200, 400, 800]
-    for products in product_counts:
-        old = generate_catalog(products=products, categories=3, seed=21)
-        result = simulate_changes(
-            old, SimulatorConfig(0.05, 0.10, 0.05, 0.05, seed=22)
-        )
-        new = result.new_document
-
-        def timed(fn, repeats=3):
-            best, delta = float("inf"), None
-            for _ in range(repeats):
-                pair = _fresh_pair(old, new)
-                start = time.perf_counter()
-                delta = fn(*pair)
-                best = min(best, time.perf_counter() - start)
-            return best * 1e3, delta
-
-        buld_ms, buld_delta = timed(diff)
-        lu_ms, lu_delta = timed(lu_diff, repeats=1)
-        ladiff_ms, ladiff_delta = timed(ladiff_diff, repeats=1)
-        report.line(
-            f"{products:>9} {old.subtree_size() - 1:>7} | "
-            f"{buld_ms:>9.1f} {lu_ms:>9.1f} {ladiff_ms:>9.1f} | "
-            f"{delta_byte_size(buld_delta):>8} "
-            f"{delta_byte_size(lu_delta):>8} "
-            f"{delta_byte_size(ladiff_delta):>8}"
-        )
-    report.line()
-    report.line(
-        "paper: BULD is O(n log n); Lu/Selkow and LaDiff degrade "
-        "quadratically as same-label sibling lists grow"
-    )
-    return report
-
-
-# ---------------------------------------------------------------------------
-# QUAL — distance from the (move-less) optimum on small trees
-# ---------------------------------------------------------------------------
-
-
-def run_qual(fast: bool = False) -> Report:
-    from repro.core.xid import subtree_xids
-
-    report = Report("QUAL")
-    report.line("QUAL — BULD cost vs exact tree-edit optimum (Section 5)")
-    report.line(
-        "cost model: nodes deleted + inserted + values updated; moves "
-        "counted as delete+insert of the subtree (ZS has no moves)"
-    )
-    report.line()
-    header = f"{'case':>5} {'nodes':>6} | {'ZS optimal':>10} {'BULD cost':>10} {'ratio':>6}"
-    report.line(header)
-    report.line("-" * len(header))
-
-    cases = 8 if fast else 20
-    ratios = []
-    for seed in range(cases):
-        base, new_doc, _ = _simulated_pair(
-            90, doc_seed=seed, sim_seed=seed + 500, rate=0.08
-        )
-        old, new = _fresh_pair(base, new_doc)
-        optimal = tree_edit_distance(old, new)
-        labelled_old = base.clone(keep_xids=False)
-        delta = diff(labelled_old, new_doc.clone(keep_xids=False))
-        cost = 0.0
-        from repro.core import xid_index
-
-        index = xid_index(labelled_old)
-        for operation in delta.operations:
-            if operation.kind in ("delete", "insert"):
-                cost += len(subtree_xids(operation.subtree))
-            elif operation.kind == "move":
-                node = index.get(operation.xid)
-                cost += 2 * (node.subtree_size() if node is not None else 1)
-            else:
-                cost += 1
-        ratio = cost / optimal if optimal else 1.0
-        ratios.append(ratio)
-        report.line(
-            f"{seed:>5} {base.subtree_size() - 1:>6} | "
-            f"{optimal:>10.0f} {cost:>10.0f} {ratio:>6.2f}"
-        )
-    report.line()
-    report.line(
-        f"average cost ratio vs optimum: {sum(ratios) / len(ratios):.2f} "
-        "(1.00 = optimal; paper: 'reasonably close to the optimal')"
-    )
-    return report
-
-
-def run_abl(fast: bool = False) -> Report:
-    """ABL — one table for every Section 5.2 tuning knob."""
-    import time as _time
-
-    from repro.core import DiffConfig
-    from repro.core.transform import moves_to_edits
-
-    report = Report("ABL")
-    report.line("ABL — tuning-knob ablations (Section 5.2 + conclusion)")
-    report.line()
-
-    nodes = 2_000 if fast else 8_000
-    base, new_doc, _ = _simulated_pair(nodes, doc_seed=97, sim_seed=98)
-
-    def measure(config):
-        best = float("inf")
-        delta = None
-        for _ in range(3):
-            old, new = _fresh_pair(base, new_doc)
-            start = _time.perf_counter()
-            delta = diff(old, new, config)
-            best = min(best, _time.perf_counter() - start)
-        return best * 1e3, delta_byte_size(delta), delta
-
-    header = f"{'configuration':<38} {'ms':>9} {'delta B':>9}"
-    report.line(header)
-    report.line("-" * len(header))
-
-    configurations = [
-        ("defaults", DiffConfig()),
-        ("no ID attributes", DiffConfig(use_id_attributes=False)),
-        ("inferred ID attributes", DiffConfig(infer_id_attributes=True)),
-        ("flat text weight", DiffConfig(log_text_weight=False)),
-        ("eager down-propagation", DiffConfig(lazy_down=False)),
-        ("0 optimization passes", DiffConfig(optimization_passes=0)),
-        ("4 optimization passes", DiffConfig(optimization_passes=4)),
-        ("candidate cap 1", DiffConfig(max_candidates=1)),
-        ("ancestor depth factor 0", DiffConfig(ancestor_depth_factor=0.0)),
-        ("ancestor depth factor 3", DiffConfig(ancestor_depth_factor=3.0)),
-        ("chunked moves (threshold 0)", DiffConfig(exact_move_threshold=0)),
-        ("fast signatures (salted hash)", DiffConfig(fast_signatures=True)),
-    ]
-    default_delta = None
-    for name, config in configurations:
-        milliseconds, size, delta = measure(config)
-        if name == "defaults":
-            default_delta = delta
-        report.line(f"{name:<38} {milliseconds:>9.1f} {size:>9}")
-
-    # the conclusion's moves-vs-edits trade-off on the default delta
-    old, _ = _fresh_pair(base, new_doc)
-    labelled_old = old
-    default_delta = diff(labelled_old, new_doc.clone(keep_xids=False))
-    rewritten = moves_to_edits(default_delta, labelled_old)
-    report.line()
-    report.line(
-        f"moves represented as moves:         "
-        f"{delta_byte_size(default_delta):>9} bytes "
-        f"({len(default_delta.by_kind('move'))} moves)"
-    )
-    report.line(
-        f"moves as delete+insert (converted): "
-        f"{delta_byte_size(rewritten):>9} bytes"
-    )
-    return report
-
-
-def run_store(fast: bool = False) -> Report:
-    """STORE — commit-loop reuse across version-store commits.
-
-    The seed re-parsed *and* re-annotated the stored current version on
-    every commit.  The engine layer removes both: the directory
-    repository rolls its parsed-snapshot cache forward on ``append`` and
-    hands the diff a readonly (clone-free) instance, and the
-    ``AnnotationStore`` reattaches the previous commit's signatures and
-    weights through the ``(doc_id, version)`` identity hint.  Three
-    configurations isolate the contributions; all three must produce
-    byte-identical delta chains.
-    """
-    import tempfile
-
-    from repro.core import serialize_delta
-    from repro.versioning import DirectoryRepository, VersionStore
-
-    class SeedLikeRepository(DirectoryRepository):
-        """Seed behaviour: every load re-parses and returns a copy."""
-
-        def load_current(self, doc_id, readonly=False):
-            self._current_cache.clear()
-            return super().load_current(doc_id)
-
-    report = Report("STORE")
-    report.line("STORE — version-store commit loop (10-revisit crawler case)")
-    report.line(
-        "seed behaviour re-parses and re-annotates the stored current "
-        "version on every commit; the parsed-snapshot cache and the "
-        "AnnotationStore each remove one of the two recomputations"
-    )
-    report.line()
-
-    nodes = 2_000 if fast else 8_000
-    commits = 10
-    base, _, _ = _simulated_pair(nodes, doc_seed=71, sim_seed=72)
-    versions = []
-    current = base
-    for step in range(commits):
-        result = simulate_changes(
-            current, SimulatorConfig(0.03, 0.08, 0.03, 0.03, seed=73 + step)
-        )
-        current = result.new_document
-        versions.append(current)
-
-    def run_once(repository_class, annotation_cache):
-        with tempfile.TemporaryDirectory() as tmp:
-            store = VersionStore(
-                repository_class(tmp), annotation_cache=annotation_cache
-            )
-            store.create("doc", base)
-            start = time.perf_counter()
-            for version in versions:
-                store.commit("doc", version)
-            seconds = time.perf_counter() - start
-            chain = [serialize_delta(delta) for delta in store.deltas("doc")]
-        return seconds, chain, store
-
-    # Repetitions are interleaved across configurations so machine-load
-    # drift hits all three alike instead of whichever ran last.
-    configurations = {
-        "seed": (SeedLikeRepository, False),
-        "parse": (DirectoryRepository, False),
-        "both": (DirectoryRepository, True),
-    }
-    best: dict[str, float] = {}
-    chains: dict[str, list] = {}
-    stores: dict[str, VersionStore] = {}
-    for _ in range(3):
-        for name, (repository_class, annotation_cache) in configurations.items():
-            seconds, chain, store = run_once(repository_class, annotation_cache)
-            if name not in best or seconds < best[name]:
-                best[name] = seconds
-            chains[name] = chain
-            stores[name] = store
-    seed_seconds, seed_chain = best["seed"], chains["seed"]
-    parse_seconds, parse_chain = best["parse"], chains["parse"]
-    both_seconds, both_chain = best["both"], chains["both"]
-    both_store = stores["both"]
-
-    report.line(f"{commits} commits, ~{nodes} nodes per version (best of 3)")
-    report.line(f"seed behaviour (no reuse):      {seed_seconds:8.3f}s")
-    report.line(
-        f"+ parsed-snapshot cache:        {parse_seconds:8.3f}s "
-        f"({seed_seconds / parse_seconds:.2f}x)"
-    )
-    report.line(
-        f"+ annotation reuse (default):   {both_seconds:8.3f}s "
-        f"({seed_seconds / both_seconds:.2f}x vs seed)"
-    )
-    hits = both_store.last_stats.counters.get("annotation_cache_hits", 0)
-    report.line(f"annotation cache hits on the final commit: {hits:.0f}")
-    identical = seed_chain == parse_chain == both_chain
-    report.line(f"delta chains byte-identical across configurations: {identical}")
-    return report
-
-
-EXPERIMENTS = {
-    "FIG4": run_fig4,
-    "FIG5": run_fig5,
-    "FIG6": run_fig6,
-    "SITE": run_site,
-    "COMP": run_comp,
-    "QUAL": run_qual,
-    "ABL": run_abl,
-    "STORE": run_store,
-}
+__all__ = ["main"]
 
 
 def main(argv=None) -> int:
+    from repro.obs.bench import (
+        BenchError,
+        BenchRunner,
+        available_experiments,
+        get_experiment,
+        render_text,
+        write_result,
+    )
+
     argv = list(sys.argv[1:] if argv is None else argv)
     fast = "--fast" in argv
     if fast:
         argv.remove("--fast")
-    requested = [name.upper() for name in argv] or list(EXPERIMENTS)
+    requested = [name.upper() for name in argv] or available_experiments()
+    try:  # validate up front: one typo must not waste a long sweep
+        for name in requested:
+            get_experiment(name)
+    except BenchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    # The fast tier is cheap enough for warmup + repeats; full scale
+    # keeps the old sweep's single-measurement behaviour so the largest
+    # documents do not quadruple the (already minutes-long) run time.
+    runner = BenchRunner(
+        repeat=3 if fast else 1,
+        warmup=1 if fast else 0,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
     for name in requested:
-        runner = EXPERIMENTS.get(name)
-        if runner is None:
-            print(f"unknown experiment {name}; choose from {sorted(EXPERIMENTS)}")
-            return 2
         print("=" * 72)
-        report = runner(fast=fast)
-        path = report.save()
-        print(f"[saved {path}]")
+        payload = runner.run_experiment(name, fast=fast)
+        text = render_text(payload)
+        print(text)
+        json_path = write_result(payload, out_dir=REPO_ROOT)
+        text_path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(text_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"[saved {text_path} and {json_path}]")
         print()
     return 0
 

@@ -145,6 +145,7 @@ def diff_with_stats(
     engine: str = "buld",
     tracer=None,
     metrics=None,
+    stage_buckets=None,
 ) -> tuple[Delta, DiffStats]:
     """Like :func:`diff` but also returns per-stage statistics.
 
@@ -158,6 +159,11 @@ def diff_with_stats(
             :class:`repro.obs.profiler.StageProfiler` observer feeds
             ``repro_stage_seconds`` / ``repro_stages_total`` and
             ``repro_diffs_total`` is incremented per run.
+        stage_buckets: Optional upper bounds for the
+            ``repro_stage_seconds`` histogram (default
+            :data:`repro.obs.profiler.STAGE_BUCKETS`, 10 µs–30 s) —
+            pass wider bounds for snapshot-scale documents whose stages
+            the defaults would clip.  Only meaningful with ``metrics``.
     """
     from repro.engine.context import DiffContext
     from repro.engine.registry import resolve_engine
@@ -168,7 +174,9 @@ def diff_with_stats(
         if metrics is not None:
             from repro.obs.profiler import StageProfiler
 
-            StageProfiler(metrics=metrics).install(context)
+            StageProfiler(metrics=metrics, buckets=stage_buckets).install(
+                context
+            )
     result = resolve_engine(engine).diff_with_stats(
         old_document, new_document, config, allocator=allocator,
         context=context,

@@ -1,0 +1,64 @@
+"""repro.obs.bench — the instrumented benchmark harness.
+
+Turns the paper's experiments (FIG4 ... STORE, see DESIGN.md) into
+registered benchmark cases run with warmup + repeats, instrumented
+through the existing ``repro.obs`` tracer/metrics layer, and emitted as
+schema-versioned ``BENCH_<EXPERIMENT>.json`` payloads — the repo's
+recorded perf trajectory.  ``compare_payloads`` is the regression gate
+behind ``xydiff bench --compare``.  See ``docs/benchmarks.md``.
+"""
+
+from repro.obs.bench.compare import (
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_THRESHOLD,
+    CompareError,
+    ComparisonReport,
+    ComparisonRow,
+    compare_payloads,
+    render_comparison,
+)
+from repro.obs.bench.core import (
+    BenchCase,
+    BenchError,
+    BenchRunner,
+    Experiment,
+    RepeatObs,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.obs.bench.render import render_text
+from repro.obs.bench.results import (
+    SCHEMA,
+    bench_filename,
+    load_result,
+    validate_bench_payload,
+    write_result,
+)
+
+# Importing the case definitions populates the experiment registry.
+from repro.obs.bench import cases as _cases  # noqa: E402,F401  (side effect)
+
+__all__ = [
+    "BenchCase",
+    "BenchError",
+    "BenchRunner",
+    "CompareError",
+    "ComparisonReport",
+    "ComparisonRow",
+    "DEFAULT_MIN_SECONDS",
+    "DEFAULT_THRESHOLD",
+    "Experiment",
+    "RepeatObs",
+    "SCHEMA",
+    "available_experiments",
+    "bench_filename",
+    "compare_payloads",
+    "get_experiment",
+    "load_result",
+    "register_experiment",
+    "render_comparison",
+    "render_text",
+    "validate_bench_payload",
+    "write_result",
+]

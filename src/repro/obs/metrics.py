@@ -280,6 +280,18 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as "
                     f"{existing.kind}, not {cls.kind}"
                 )
+            requested = kwargs.get("buckets")
+            if (
+                requested is not None
+                and tuple(requested) != tuple(existing.buckets)
+            ):
+                # Silently returning the old instrument would record the
+                # new samples against bounds the caller never asked for.
+                raise ValueError(
+                    f"histogram {name!r} already registered with buckets "
+                    f"{existing.buckets}, cannot re-register with "
+                    f"{tuple(requested)}"
+                )
             return existing
         instrument = cls(name, help=help, unit=unit, **kwargs)
         self._instruments[name] = instrument

@@ -69,6 +69,12 @@ class StageProfiler:
             stage.  ``None`` disables the tracing side (use this mode
             when the run's :class:`DiffContext` already carries a tracer
             — see the module docstring).
+        buckets: Upper bounds for the ``repro_stage_seconds`` histogram.
+            Defaults to :data:`STAGE_BUCKETS` (10 µs–30 s), which clips
+            snapshot-scale workloads — pass wider bounds for those
+            (``diff_with_stats(stage_buckets=...)`` threads this
+            through).  All profilers sharing one registry must agree:
+            the registry rejects a re-declaration with different bounds.
 
     The profiler is reusable across runs (it keeps no per-run state
     besides the currently open span stack) but, like the tracer, is
@@ -79,16 +85,20 @@ class StageProfiler:
         self,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        buckets: Optional[tuple] = None,
     ):
         self.metrics = metrics
         self.tracer = tracer
+        self.buckets = (
+            STAGE_BUCKETS if buckets is None else tuple(buckets)
+        )
         self._open: list[tuple[str, Optional[Span]]] = []
         if metrics is not None:
             self.stage_seconds = metrics.histogram(
                 "repro_stage_seconds",
                 help="Wall-clock seconds per pipeline stage.",
                 unit="seconds",
-                buckets=STAGE_BUCKETS,
+                buckets=self.buckets,
             )
             self.stages_total = metrics.counter(
                 "repro_stages_total",

@@ -1,0 +1,316 @@
+"""The benchmark harness: registry, runner, payload schema, file I/O.
+
+The heavyweight experiment definitions are exercised end to end by
+``tests/test_cli.py`` (one tiny filtered run); here a toy experiment
+pins the runner's contract — setup/prepare/run call counts, warmup
+exclusion, stage timings sourced from the repeat's ``stage:*`` Tracer
+spans (the single-source-of-truth rule), payload validation, and the
+round trip through ``BENCH_*.json``.
+"""
+
+import pytest
+
+from repro.obs.bench import (
+    SCHEMA,
+    BenchCase,
+    BenchError,
+    BenchRunner,
+    Experiment,
+    available_experiments,
+    bench_filename,
+    get_experiment,
+    load_result,
+    validate_bench_payload,
+    write_result,
+)
+
+ALL_EXPERIMENTS = ["FIG4", "FIG5", "FIG6", "SITE", "COMP", "QUAL", "ABL",
+                   "STORE"]
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        assert available_experiments() == ALL_EXPERIMENTS
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_experiment("fig4").id == "FIG4"
+
+    def test_unknown_experiment_raises_bencherror(self):
+        with pytest.raises(BenchError, match="unknown experiment"):
+            get_experiment("FIG7")
+
+    def test_every_experiment_has_fast_and_full_cases(self):
+        for name in ALL_EXPERIMENTS:
+            experiment = get_experiment(name)
+            fast = experiment.cases(True)
+            full = experiment.cases(False)
+            assert fast and full
+            # the fast tier must not outgrow the full tier
+            assert len(fast) <= len(full)
+            for tier in (fast, full):
+                names = [case.name for case in tier]
+                assert len(names) == len(set(names))
+
+
+def _toy_experiment(counts, gated=("delta_bytes",), summarize=None):
+    """A deterministic experiment that records its lifecycle calls."""
+
+    def setup():
+        counts["setup"] += 1
+        return {"base": 10}
+
+    def prepare(state):
+        counts["prepare"] += 1
+        return dict(state)
+
+    def run(prepared, obs):
+        counts["run"] += 1
+        with obs.tracer.span("stage:toy-stage"):
+            pass
+        obs.metrics.counter("toy_total").inc()
+        return {"delta_bytes": prepared["base"], "label": "x"}
+
+    return Experiment(
+        id="TOY",
+        title="toy experiment",
+        cases=lambda fast: [
+            BenchCase(
+                name="only",
+                setup=setup,
+                prepare=prepare,
+                run=run,
+                params={"fast": fast},
+                gated_quality=gated,
+            )
+        ],
+        summarize=summarize,
+    )
+
+
+class TestRunner:
+    def test_lifecycle_counts_and_payload_shape(self):
+        counts = {"setup": 0, "prepare": 0, "run": 0}
+        runner = BenchRunner(repeat=3, warmup=2)
+        payload = runner.run_experiment(_toy_experiment(counts))
+        assert counts == {"setup": 1, "prepare": 5, "run": 5}
+        assert payload["schema"] == SCHEMA
+        assert payload["experiment"] == "TOY"
+        assert validate_bench_payload(payload) == []
+        (case,) = payload["cases"]
+        # warmup runs are excluded from the samples
+        assert len(case["wall_seconds"]["samples"]) == 3
+        assert case["quality"] == {"delta_bytes": 10, "label": "x"}
+        assert case["gated_quality"] == ["delta_bytes"]
+
+    def test_stage_seconds_come_from_tracer_spans(self):
+        """Stages are the case's own ``stage:*`` spans, never re-timed."""
+        durations = iter([0.25, 0.5, 0.125])
+
+        def run(prepared, obs):
+            span = obs.tracer.start_span("stage:fixed")
+            obs.tracer.end_span(span, duration=next(durations))
+            return {}
+
+        experiment = Experiment(
+            id="TOY",
+            title="t",
+            cases=lambda fast: [
+                BenchCase(name="only", setup=lambda: None, run=run)
+            ],
+        )
+        payload = BenchRunner(repeat=3, warmup=0).run_experiment(experiment)
+        stat = payload["cases"][0]["stage_seconds"]["fixed"]
+        # bitwise: the assigned span durations, not a new measurement
+        assert stat["samples"] == [0.25, 0.5, 0.125]
+        assert stat["median"] == 0.25
+
+    def test_stage_spans_summed_within_one_repeat(self):
+        def run(prepared, obs):
+            for _ in range(3):
+                span = obs.tracer.start_span("stage:fixed")
+                obs.tracer.end_span(span, duration=1.0)
+            return {}
+
+        experiment = Experiment(
+            id="TOY",
+            title="t",
+            cases=lambda fast: [
+                BenchCase(name="only", setup=lambda: None, run=run)
+            ],
+        )
+        payload = BenchRunner(repeat=1, warmup=0).run_experiment(experiment)
+        assert payload["cases"][0]["stage_seconds"]["fixed"]["samples"] == [3.0]
+
+    def test_warmup_metrics_do_not_pollute_histograms(self):
+        from repro import parse
+
+        def run(prepared, obs):
+            from repro import diff_with_stats
+
+            diff_with_stats(
+                parse("<a><b>x</b></a>"), parse("<a><b>y</b></a>"),
+                **obs.diff_kwargs,
+            )
+            return {}
+
+        experiment = Experiment(
+            id="TOY",
+            title="t",
+            cases=lambda fast: [
+                BenchCase(name="only", setup=lambda: None, run=run)
+            ],
+        )
+        payload = BenchRunner(repeat=2, warmup=3).run_experiment(experiment)
+        histogram = payload["cases"][0]["stage_histogram"]
+        assert histogram is not None
+        by_stage = {
+            series["labels"]["stage"]: series["count"]
+            for series in histogram["series"]
+        }
+        # 2 timed repeats, not 5 total runs
+        assert by_stage["annotate"] == 2
+
+    def test_missing_gated_quality_key_raises(self):
+        counts = {"setup": 0, "prepare": 0, "run": 0}
+        experiment = _toy_experiment(counts, gated=("absent",))
+        with pytest.raises(BenchError, match="absent"):
+            BenchRunner(repeat=1, warmup=0).run_experiment(experiment)
+
+    def test_case_filter_selects_and_excludes(self):
+        counts = {"setup": 0, "prepare": 0, "run": 0}
+        runner = BenchRunner(repeat=1, warmup=0)
+        assert (
+            runner.run_experiment(
+                _toy_experiment(counts), case_filter="TOY:on*"
+            )["cases"][0]["name"]
+            == "only"
+        )
+        assert (
+            runner.run_experiment(
+                _toy_experiment(counts), case_filter="nomatch"
+            )
+            is None
+        )
+
+    def test_progress_lines_emitted(self):
+        lines = []
+        counts = {"setup": 0, "prepare": 0, "run": 0}
+        BenchRunner(repeat=2, warmup=0, progress=lines.append).run_experiment(
+            _toy_experiment(counts)
+        )
+        assert any("repeat 2/2" in line for line in lines)
+
+    def test_trace_memory_records_peaks(self):
+        def run(prepared, obs):
+            data = [bytes(4096) for _ in range(100)]
+            return {"n": len(data)}
+
+        experiment = Experiment(
+            id="TOY",
+            title="t",
+            cases=lambda fast: [
+                BenchCase(name="only", setup=lambda: None, run=run)
+            ],
+        )
+        payload = BenchRunner(
+            repeat=1, warmup=0, trace_memory=True
+        ).run_experiment(experiment)
+        assert payload["cases"][0]["memory_peak_bytes"] > 4096 * 90
+
+    def test_summarize_receives_case_payloads(self):
+        counts = {"setup": 0, "prepare": 0, "run": 0}
+        experiment = _toy_experiment(
+            counts,
+            summarize=lambda cases: {"n": len(cases)},
+        )
+        payload = BenchRunner(repeat=1, warmup=0).run_experiment(experiment)
+        assert payload["summary"] == {"n": 1}
+
+    def test_invalid_runner_settings_rejected(self):
+        with pytest.raises(BenchError):
+            BenchRunner(repeat=0)
+        with pytest.raises(BenchError):
+            BenchRunner(warmup=-1)
+
+
+class TestPayloadValidation:
+    def _valid(self):
+        counts = {"setup": 0, "prepare": 0, "run": 0}
+        return BenchRunner(repeat=1, warmup=0).run_experiment(
+            _toy_experiment(counts)
+        )
+
+    def test_wrong_schema_flagged(self):
+        payload = self._valid()
+        payload["schema"] = "repro.bench/0"
+        assert any("schema" in p for p in validate_bench_payload(payload))
+
+    def test_duplicate_case_names_flagged(self):
+        payload = self._valid()
+        payload["cases"].append(dict(payload["cases"][0]))
+        assert any("duplicate" in p for p in validate_bench_payload(payload))
+
+    def test_gated_key_must_exist_and_be_numeric(self):
+        payload = self._valid()
+        payload["cases"][0]["gated_quality"] = ["label"]
+        assert any("label" in p for p in validate_bench_payload(payload))
+        payload["cases"][0]["gated_quality"] = ["nope"]
+        assert any("nope" in p for p in validate_bench_payload(payload))
+
+    def test_empty_cases_flagged(self):
+        payload = self._valid()
+        payload["cases"] = []
+        assert validate_bench_payload(payload)
+
+
+class TestFileRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        counts = {"setup": 0, "prepare": 0, "run": 0}
+        payload = BenchRunner(repeat=1, warmup=0).run_experiment(
+            _toy_experiment(counts)
+        )
+        path = write_result(payload, out_dir=str(tmp_path))
+        assert path.endswith(bench_filename("TOY"))
+        assert load_result(path) == payload
+
+    def test_write_refuses_invalid_payload(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid bench payload"):
+            write_result({"schema": SCHEMA}, out_dir=str(tmp_path))
+
+    def test_load_refuses_tampered_file(self, tmp_path):
+        counts = {"setup": 0, "prepare": 0, "run": 0}
+        payload = BenchRunner(repeat=1, warmup=0).run_experiment(
+            _toy_experiment(counts)
+        )
+        path = write_result(payload, out_dir=str(tmp_path))
+        text = open(path).read().replace('"repro.bench/1"', '"other/9"')
+        with open(path, "w") as handle:
+            handle.write(text)
+        with pytest.raises(ValueError, match="not a valid bench payload"):
+            load_result(path)
+
+
+class TestStatSummary:
+    def test_median_and_iqr(self):
+        from repro.obs.bench.results import stat_summary
+
+        stat = stat_summary([4.0, 1.0, 3.0, 2.0])
+        assert stat["median"] == 2.5
+        assert stat["min"] == 1.0
+        assert stat["max"] == 4.0
+        assert stat["mean"] == 2.5
+        assert stat["iqr"] == pytest.approx(1.5)
+        assert stat["samples"] == [4.0, 1.0, 3.0, 2.0]
+
+    def test_single_sample(self):
+        from repro.obs.bench.results import stat_summary
+
+        stat = stat_summary([0.5])
+        assert stat["median"] == stat["min"] == stat["max"] == 0.5
+        assert stat["iqr"] == 0.0
+
+    def test_empty_rejected(self):
+        from repro.obs.bench.results import stat_summary
+
+        with pytest.raises(ValueError):
+            stat_summary([])

@@ -1,0 +1,122 @@
+"""Golden test for ``MetricsRegistry.to_prometheus()``.
+
+``to_prometheus`` output is consumed byte-for-byte by scrapers and by
+the files ``--metrics-out`` writes; this golden pins the exact text for
+a representative registry so any formatting drift (ordering, HELP/TYPE
+placement, ``+Inf`` emission, float rendering, label escaping) shows up
+as a diff against the expected block rather than a subtle scrape break.
+"""
+
+from repro.obs.metrics import MetricsRegistry, _escape_label
+
+GOLDEN = """\
+# HELP repro_cache_entries Entries held by the annotation cache.
+# TYPE repro_cache_entries gauge
+repro_cache_entries 3
+# HELP repro_diffs_total Diff runs completed.
+# TYPE repro_diffs_total counter
+repro_diffs_total{engine="buld"} 2
+repro_diffs_total{engine="lu"} 1
+# HELP repro_stage_seconds Wall-clock seconds per pipeline stage.
+# TYPE repro_stage_seconds histogram
+repro_stage_seconds_bucket{stage="annotate",le="0.1"} 1
+repro_stage_seconds_bucket{stage="annotate",le="1"} 2
+repro_stage_seconds_bucket{stage="annotate",le="+Inf"} 3
+repro_stage_seconds_sum{stage="annotate"} 4.55
+repro_stage_seconds_count{stage="annotate"} 3
+repro_stage_seconds_bucket{stage="propagate",le="0.1"} 0
+repro_stage_seconds_bucket{stage="propagate",le="1"} 1
+repro_stage_seconds_bucket{stage="propagate",le="+Inf"} 1
+repro_stage_seconds_sum{stage="propagate"} 0.5
+repro_stage_seconds_count{stage="propagate"} 1
+"""
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    # deliberately registered out of alphabetical order: the exporter
+    # must sort by metric name, not creation order
+    histogram = registry.histogram(
+        "repro_stage_seconds",
+        help="Wall-clock seconds per pipeline stage.",
+        buckets=(0.1, 1.0),
+    )
+    histogram.observe(0.05, stage="annotate")
+    histogram.observe(0.5, stage="annotate")
+    histogram.observe(4.0, stage="annotate")  # beyond the last bound
+    histogram.observe(0.5, stage="propagate")
+    counter = registry.counter(
+        "repro_diffs_total", help="Diff runs completed."
+    )
+    counter.inc(engine="buld")
+    counter.inc(engine="buld")
+    counter.inc(engine="lu")
+    registry.gauge(
+        "repro_cache_entries", help="Entries held by the annotation cache."
+    ).set(3)
+    return registry
+
+
+class TestGolden:
+    def test_exact_exposition_text(self):
+        assert _golden_registry().to_prometheus() == GOLDEN
+
+    def test_help_and_type_ordering_is_stable(self):
+        """HELP immediately precedes TYPE, blocks sorted by metric name."""
+        lines = _golden_registry().to_prometheus().splitlines()
+        help_lines = [line for line in lines if line.startswith("# HELP")]
+        names = [line.split()[2] for line in help_lines]
+        assert names == sorted(names)
+        for index, line in enumerate(lines):
+            if line.startswith("# HELP"):
+                assert lines[index + 1].startswith(
+                    f"# TYPE {line.split()[2]} "
+                )
+
+    def test_inf_bucket_emitted_and_counts_overflow(self):
+        text = _golden_registry().to_prometheus()
+        # the 4.0 observation lands only in +Inf; count == sample count
+        assert (
+            'repro_stage_seconds_bucket{stage="annotate",le="+Inf"} 3'
+            in text
+        )
+        assert 'repro_stage_seconds_count{stage="annotate"} 3' in text
+
+
+class TestLabelEscapingRoundTrip:
+    # the three escapes the exposition format defines for label values
+    CASES = [
+        ("back\\slash", "back\\\\slash"),
+        ('quo"te', 'quo\\"te'),
+        ("new\nline", "new\\nline"),
+        ('all\\of"them\n', 'all\\\\of\\"them\\n'),
+    ]
+
+    def test_escape_matches_spec(self):
+        for raw, escaped in self.CASES:
+            assert _escape_label(raw) == escaped
+
+    def test_round_trip_through_unescape(self):
+        """Escaping is lossless: a scraper's unescape recovers the value."""
+
+        def unescape(value: str) -> str:
+            out, index = [], 0
+            while index < len(value):
+                if value[index] == "\\" and index + 1 < len(value):
+                    out.append(
+                        {"\\": "\\", '"': '"', "n": "\n"}[value[index + 1]]
+                    )
+                    index += 2
+                else:
+                    out.append(value[index])
+                    index += 1
+            return "".join(out)
+
+        for raw, _ in self.CASES:
+            assert unescape(_escape_label(raw)) == raw
+
+    def test_escaped_values_in_full_export(self):
+        registry = MetricsRegistry()
+        registry.counter("paths_total").inc(path='a"b\\c\nd')
+        text = registry.to_prometheus()
+        assert 'paths_total{path="a\\"b\\\\c\\nd"} 1' in text

@@ -176,3 +176,46 @@ class TestDeltaUnaffected:
             metrics=MetricsRegistry(),
         )
         assert serialize_delta(plain) == serialize_delta(traced)
+
+
+class TestConfigurableBuckets:
+    """Bucket bounds are a construction choice (the defaults clip
+    snapshot-scale stages at 30 s)."""
+
+    WIDE = (1.0, 60.0, 300.0)
+
+    def test_custom_buckets_reach_the_histogram(self):
+        metrics = MetricsRegistry()
+        profiler = StageProfiler(metrics=metrics, buckets=self.WIDE)
+        assert profiler.buckets == self.WIDE
+        profiler(StageEvent("match", 0, "start"))
+        profiler(StageEvent("match", 0, "end", 120.0))
+        pairs = metrics.get("repro_stage_seconds").cumulative_buckets(
+            stage="match"
+        )
+        # 120 s lands inside 300 s instead of overflowing to +Inf
+        assert dict(pairs)[300.0] == 1
+
+    def test_default_buckets_are_stage_buckets(self):
+        from repro.obs.profiler import STAGE_BUCKETS
+
+        profiler = StageProfiler(metrics=MetricsRegistry())
+        assert profiler.buckets == STAGE_BUCKETS
+
+    def test_registry_rejects_conflicting_buckets(self):
+        """One registry, one repro_stage_seconds: bounds must agree."""
+        metrics = MetricsRegistry()
+        StageProfiler(metrics=metrics)
+        with pytest.raises(ValueError, match="buckets"):
+            StageProfiler(metrics=metrics, buckets=self.WIDE)
+
+    def test_diff_with_stats_threads_stage_buckets(self):
+        metrics = MetricsRegistry()
+        diff_with_stats(
+            parse(OLD), parse(NEW), metrics=metrics,
+            stage_buckets=self.WIDE,
+        )
+        histogram = metrics.get("repro_stage_seconds")
+        assert histogram.buckets == self.WIDE
+        # every (fast) stage falls inside the first wide bucket
+        assert histogram.sample_count(stage="annotate") == 1

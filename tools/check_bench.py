@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the repro.bench schema.
+
+CI's ``perf-smoke`` job runs this over the artifacts ``xydiff bench
+--fast`` just produced; it can also be pointed at the committed
+baselines at the repo root:
+
+    PYTHONPATH=src python tools/check_bench.py bench_artifacts
+    PYTHONPATH=src python tools/check_bench.py BENCH_FIG4.json ...
+
+Each argument is a ``BENCH_*.json`` file or a directory to scan.  Exits
+1 when any file fails validation (listing every violation) or when no
+file was found at all — an empty artifact set means the bench run
+silently produced nothing, which must fail the job, not pass it.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+
+def _collect(arguments: list[str]) -> list[str]:
+    paths: list[str] = []
+    for argument in arguments:
+        if os.path.isdir(argument):
+            paths.extend(
+                sorted(glob.glob(os.path.join(argument, "BENCH_*.json")))
+            )
+        else:
+            paths.append(argument)
+    return paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.obs.bench import validate_bench_payload
+
+    arguments = list(sys.argv[1:] if argv is None else argv) or ["."]
+    paths = _collect(arguments)
+    if not paths:
+        print(f"error: no BENCH_*.json files found in {arguments}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"FAIL {path}: {error}")
+            failures += 1
+            continue
+        problems = validate_bench_payload(payload)
+        if problems:
+            print(f"FAIL {path}:")
+            for problem in problems:
+                print(f"  {problem}")
+            failures += 1
+        else:
+            cases = len(payload["cases"])
+            print(f"ok   {path} ({payload['experiment']}, {cases} cases)")
+    if failures:
+        print(f"{failures} of {len(paths)} files failed validation",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,9 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+# The trailing lookahead skips versioned identifier strings such as the
+# bench schema id `repro.bench/1`, which are not import paths.
+MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+(?![\w/])")
 FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z0-9-]*")
 HEADING_RE = re.compile(r"^##+\s+(\S+)", re.MULTILINE)
 
