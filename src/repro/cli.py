@@ -7,6 +7,11 @@ Subcommands mirror the library's main capabilities:
 - ``revert DOC DELTA``  — apply a delta backward (reconstruct the old version).
 - ``invert DELTA``      — print the inverse delta.
 - ``stats OLD NEW``     — per-phase timings and operation counts.
+- ``explain OLD NEW``   — the delta as prose (``--why`` adds the match
+  provenance "because" line per operation, ``--json`` a machine form).
+- ``audit OLD NEW``     — diff with full match provenance; exits 1 when
+  the unmatched weight ratio (or the delta size vs a ``--ground-truth``
+  perfect delta) exceeds its threshold.
 - ``generate``          — emit a synthetic document (generic or catalog).
 - ``simulate DOC``      — run the change simulator, emit the new version
   and/or the perfect delta.
@@ -376,13 +381,90 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    from repro.core.explain import explain_delta
+    from repro.core.explain import (
+        explain_delta,
+        operation_to_dict,
+        sorted_operations,
+    )
 
     old = _load_document(args.old, args.keep_whitespace)
     new = _load_document(args.new, args.keep_whitespace)
-    delta = diff(old, new, _config_from_args(args))
-    _write(args.output, explain_delta(delta, old, new) + "\n")
+    report = None
+    if args.why:
+        from repro.obs.provenance import ProvenanceRecorder, build_report
+
+        recorder = ProvenanceRecorder()
+        delta, _ = diff_with_stats(
+            old, new, _config_from_args(args), recorder=recorder
+        )
+        report = build_report(recorder, old, new, delta)
+    else:
+        delta = diff(old, new, _config_from_args(args))
+    if args.json:
+        operations = []
+        for operation in sorted_operations(delta):
+            payload = operation_to_dict(operation)
+            if report is not None:
+                payload["because"] = report.because(operation)
+            operations.append(payload)
+        _write(
+            args.output,
+            json.dumps({"operations": operations}, indent=2) + "\n",
+        )
+        return 0
+    annotate = report.because if report is not None else None
+    _write(args.output, explain_delta(delta, old, new, annotate=annotate) + "\n")
     return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.obs.provenance import ProvenanceRecorder, build_report
+
+    old = _load_document(args.old, args.keep_whitespace)
+    new = _load_document(args.new, args.keep_whitespace)
+    recorder = ProvenanceRecorder()
+    delta, _ = diff_with_stats(
+        old, new, _config_from_args(args), recorder=recorder
+    )
+    report = build_report(recorder, old, new, delta)
+
+    failures = []
+    if report.unmatched_weight_ratio > args.max_unmatched:
+        failures.append(
+            f"unmatched weight ratio {report.unmatched_weight_ratio:.4f} "
+            f"exceeds --max-unmatched {args.max_unmatched:g}"
+        )
+    size_ratio = None
+    if args.ground_truth is not None:
+        perfect_bytes = delta_byte_size(parse_delta(_read(args.ground_truth)))
+        computed_bytes = delta_byte_size(delta)
+        size_ratio = (
+            computed_bytes / perfect_bytes if perfect_bytes else 1.0
+        )
+        if args.max_size_ratio is not None and size_ratio > args.max_size_ratio:
+            failures.append(
+                f"delta size ratio {size_ratio:.4f} vs ground truth "
+                f"exceeds --max-size-ratio {args.max_size_ratio:g}"
+            )
+
+    if args.json:
+        payload = report.to_dict(include_nodes=not args.summary)
+        if size_ratio is not None:
+            payload["ground_truth_size_ratio"] = round(size_ratio, 6)
+        payload["ok"] = not failures
+        payload["failures"] = failures
+        _write(args.output, json.dumps(payload, indent=2) + "\n")
+    else:
+        lines = [report.to_text()]
+        if size_ratio is not None:
+            lines.append(
+                f"delta size vs ground truth: {size_ratio:.4f}x "
+                f"({delta_byte_size(delta)} bytes)"
+            )
+        _write(args.output, "\n".join(lines) + "\n")
+    for failure in failures:
+        print(f"audit: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_htmlize(args) -> int:
@@ -693,8 +775,39 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("new")
     sub.add_argument("--no-ids", action="store_true")
     sub.add_argument("--passes", type=int, default=2)
+    sub.add_argument("--json", action="store_true",
+                     help="emit a machine-readable operations list")
+    sub.add_argument("--why", action="store_true",
+                     help="record match provenance and attach a 'because' "
+                          "line to every operation")
     add_common(sub)
     sub.set_defaults(func=_cmd_explain)
+
+    sub = subparsers.add_parser(
+        "audit",
+        help="diff with match provenance and gate on unmatched weight",
+    )
+    sub.add_argument("old")
+    sub.add_argument("new")
+    sub.add_argument("--no-ids", action="store_true")
+    sub.add_argument("--passes", type=int, default=2)
+    sub.add_argument("--max-unmatched", type=float, default=0.5,
+                     metavar="RATIO",
+                     help="exit 1 when the combined unmatched weight ratio "
+                          "exceeds RATIO (default 0.5)")
+    sub.add_argument("--ground-truth", default=None, metavar="DELTA",
+                     help="a perfect delta (e.g. 'simulate --delta-output') "
+                          "to score the computed delta's size against")
+    sub.add_argument("--max-size-ratio", type=float, default=None,
+                     metavar="RATIO",
+                     help="with --ground-truth: exit 1 when computed/perfect "
+                          "delta bytes exceeds RATIO")
+    sub.add_argument("--json", action="store_true",
+                     help="emit the full ProvenanceReport as JSON")
+    sub.add_argument("--summary", action="store_true",
+                     help="with --json: omit the per-node listing")
+    add_common(sub)
+    sub.set_defaults(func=_cmd_audit)
 
     sub = subparsers.add_parser(
         "htmlize", help="convert (tag-soup) HTML to well-formed XML"
@@ -739,7 +852,9 @@ def build_parser() -> argparse.ArgumentParser:
     render = obs_sub.add_parser(
         "render", help="pretty-print a JSON-lines trace as a span tree"
     )
-    render.add_argument("trace_file", help="trace file written by --trace")
+    render.add_argument("trace_file",
+                        help="trace file written by --trace "
+                             "('-' reads stdin, like every other command)")
     render.add_argument("--no-attrs", action="store_true",
                         help="hide span attributes")
     render.add_argument("-o", "--output", default="-")

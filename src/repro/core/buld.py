@@ -62,12 +62,20 @@ class BuldMatcher:
         new_document: Document,
         config,
         extra_id_attributes: Optional[set[tuple[str, str]]] = None,
+        recorder=None,
     ):
         self.old_document = old_document
         self.new_document = new_document
         self.config = config
         self.extra_id_attributes = extra_id_attributes or set()
-        self.matching = Matching()
+        # A disabled recorder (e.g. NullRecorder) is normalized to None so
+        # every hot-path guard is a single identity check.
+        if recorder is not None and not getattr(recorder, "enabled", True):
+            recorder = None
+        self.recorder = recorder
+        self.matching = Matching(recorder=recorder)
+        if recorder is not None:
+            recorder.phase = "root"
         self.matching.add(old_document, new_document)
 
         self.old_annotations: Optional[TreeAnnotations] = None
@@ -101,6 +109,9 @@ class BuldMatcher:
             )
         if not id_attributes:
             return 0
+        if self.recorder is not None:
+            self.recorder.phase = "id-attribute"
+            self.recorder.anchor = None
         old_keys = _id_key_map(self.old_document, id_attributes)
         new_keys = _id_key_map(self.new_document, id_attributes)
         matched = 0
@@ -161,6 +172,10 @@ class BuldMatcher:
         )
         self._log_n = math.log2(total_nodes + 1)
         self._total_weight = max(self.old_annotations.total_weight, 1.0)
+        if self.recorder is not None:
+            self.recorder.set_weights(
+                self.old_annotations, self.new_annotations
+            )
 
         signatures = self.old_annotations.signatures
         for node in preorder(self.old_document):
@@ -211,17 +226,25 @@ class BuldMatcher:
             if not self.matching.is_locked(node):
                 candidate = self._find_best_candidate(node, -negative_weight)
             if candidate is not None:
+                recorder = self.recorder
+                if recorder is not None:
+                    recorder.anchor = node
                 self._match_identical_subtrees(candidate, node)
                 self._propagate_to_ancestors(candidate, node, -negative_weight)
+                if recorder is not None:
+                    recorder.anchor = None
             elif node.kind == "element":
                 for child in node.children:
                     heapq.heappush(heap, (-weights[child], counter, child))
                     counter += 1
 
     def _find_best_candidate(self, node: Node, weight: float) -> Optional[Node]:
+        recorder = self.recorder
         signature = self.new_annotations.signatures[node]
         candidates = self._signature_index.get(signature)
         if not candidates:
+            if recorder is not None:
+                recorder.record_rejection("no-signature-match", new=node)
             return None
 
         matching = self.matching
@@ -242,13 +265,17 @@ class BuldMatcher:
         # General path — enumerate (a bounded number of) candidates and pick
         # the one whose ancestor chain agrees with existing matches.
         viable: list[Node] = []
-        for old_node in candidates:
+        for index, old_node in enumerate(candidates):
             if matching.has_old(old_node) or matching.is_locked(old_node):
                 continue
             viable.append(old_node)
             if len(viable) >= self.config.max_candidates:
+                if recorder is not None and index + 1 < len(candidates):
+                    recorder.record_rejection("candidate-cap", new=node)
                 break
         if not viable:
+            if recorder is not None:
+                recorder.record_rejection("candidates-taken", new=node)
             return None
         if len(viable) == 1:
             return viable[0]
@@ -270,6 +297,12 @@ class BuldMatcher:
                 best = old_node
                 best_level = level
                 best_distance = distance
+        if recorder is not None:
+            for old_node in viable:
+                if old_node is not best:
+                    recorder.record_rejection(
+                        "collision-loser", old=old_node, new=node
+                    )
         return best
 
     def _sibling_position(self, node: Node) -> int:
@@ -300,6 +333,8 @@ class BuldMatcher:
         holes surface later as moves.
         """
         matching = self.matching
+        if self.recorder is not None:
+            self.recorder.phase = "subtree-hash"
         stack = [(old_root, new_root)]
         while stack:
             old_node, new_node = stack.pop()
@@ -317,6 +352,7 @@ class BuldMatcher:
         """Match equal-label ancestors, up to the weight-bounded depth."""
         allowance = self._ancestor_depth(weight)
         matching = self.matching
+        recorder = self.recorder
         old_parent = old_node.parent
         new_parent = new_node.parent
         while (
@@ -327,15 +363,40 @@ class BuldMatcher:
             and new_parent.kind == "element"
         ):
             if matching.has_old(old_parent) or matching.has_new(new_parent):
+                if recorder is not None and not matching.has_new(new_parent):
+                    recorder.record_rejection(
+                        "ancestor-matched", old=old_parent, new=new_parent
+                    )
                 break
             if not matching.can_match(old_parent, new_parent):
+                if recorder is not None:
+                    recorder.record_rejection(
+                        "label-mismatch", old=old_parent, new=new_parent
+                    )
                 break
+            if recorder is not None:
+                # _match_unique_children below switches the phase; restore
+                # it so every ancestor pair is attributed correctly.
+                recorder.phase = "ancestor"
             matching.add(old_parent, new_parent)
             if not self.config.lazy_down:
                 self._match_unique_children(old_parent, new_parent)
             old_parent = old_parent.parent
             new_parent = new_parent.parent
             allowance -= 1
+        else:
+            if (
+                recorder is not None
+                and allowance == 0
+                and old_parent is not None
+                and new_parent is not None
+                and old_parent.kind == "element"
+                and new_parent.kind == "element"
+                and matching.can_match(old_parent, new_parent)
+            ):
+                recorder.record_rejection(
+                    "weight-bound", old=old_parent, new=new_parent
+                )
 
     # ------------------------------------------------------------------
     # Phase 4 — bottom-up / top-down structural propagation
@@ -355,6 +416,9 @@ class BuldMatcher:
     def _propagate_to_parents(self) -> None:
         """Bottom-up: children vote for their parents, heaviest set wins."""
         matching = self.matching
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.anchor = None
         weights = (
             self.new_annotations.weights if self.new_annotations else None
         )
@@ -381,7 +445,13 @@ class BuldMatcher:
             winner_key = max(votes, key=votes.get)
             old_parent = vote_nodes[winner_key]
             if matching.can_match(old_parent, node):
+                if recorder is not None:
+                    recorder.phase = "parent-vote"
                 matching.add(old_parent, node)
+            elif recorder is not None:
+                recorder.record_rejection(
+                    "vote-rejected", old=old_parent, new=node
+                )
 
     def _propagate_to_children(self) -> None:
         """Top-down: unique same-label children of matched parents match."""
@@ -396,6 +466,8 @@ class BuldMatcher:
 
     def _match_unique_children(self, old_parent: Node, new_parent: Node) -> None:
         matching = self.matching
+        if self.recorder is not None:
+            self.recorder.phase = "unique-child"
         old_unique = _unique_unmatched_children(
             old_parent, matching.has_old, matching.is_locked
         )

@@ -146,6 +146,7 @@ def diff_with_stats(
     tracer=None,
     metrics=None,
     stage_buckets=None,
+    recorder=None,
 ) -> tuple[Delta, DiffStats]:
     """Like :func:`diff` but also returns per-stage statistics.
 
@@ -164,13 +165,26 @@ def diff_with_stats(
             :data:`repro.obs.profiler.STAGE_BUCKETS`, 10 µs–30 s) —
             pass wider bounds for snapshot-scale documents whose stages
             the defaults would clip.  Only meaningful with ``metrics``.
+        recorder: Optional
+            :class:`repro.obs.provenance.ProvenanceRecorder`; BULD
+            notifies it of every match/lock/rejection decision (feed it
+            to :func:`repro.obs.provenance.build_report` afterwards).
+            With ``metrics`` also given, the per-phase attribution
+            metrics (``repro_matches_total`` ...) are published after
+            the run.  A disabled recorder (``NullRecorder``) is treated
+            exactly like the default ``None``.
     """
     from repro.engine.context import DiffContext
     from repro.engine.registry import resolve_engine
 
+    active_recorder = recorder
+    if active_recorder is not None and not getattr(
+        active_recorder, "enabled", True
+    ):
+        active_recorder = None
     context = None
-    if tracer is not None or metrics is not None:
-        context = DiffContext(tracer=tracer)
+    if tracer is not None or metrics is not None or active_recorder is not None:
+        context = DiffContext(tracer=tracer, recorder=active_recorder)
         if metrics is not None:
             from repro.obs.profiler import StageProfiler
 
@@ -185,4 +199,8 @@ def diff_with_stats(
         metrics.counter(
             "repro_diffs_total", help="Diff runs completed."
         ).inc(engine=result[1].engine)
+        if active_recorder is not None:
+            from repro.obs.provenance import publish_provenance_metrics
+
+            publish_provenance_metrics(metrics, active_recorder)
     return result

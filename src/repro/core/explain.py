@@ -24,7 +24,12 @@ from repro.core.xid import xid_index
 from repro.xmlkit.model import Document, Node
 from repro.xmlkit.path import path_of
 
-__all__ = ["explain_delta", "explain_operation"]
+__all__ = [
+    "explain_delta",
+    "explain_operation",
+    "operation_to_dict",
+    "sorted_operations",
+]
 
 _PREVIEW_LENGTH = 40
 
@@ -126,10 +131,71 @@ def explain_operation(
     return f"{kind} (XID {operation.xid})"  # pragma: no cover
 
 
+_OPERATION_ORDER = {
+    "delete": 0,
+    "insert": 1,
+    "move": 2,
+    "update": 3,
+    "attr-insert": 4,
+    "attr-delete": 4,
+    "attr-update": 4,
+}
+
+
+def sorted_operations(delta: Delta) -> list[Operation]:
+    """The delta's operations in explanation order.
+
+    Deletes, inserts, moves, updates, then attribute changes, each group
+    ordered by XID — the order :func:`explain_delta` narrates in and the
+    order ``xydiff explain --json`` serializes in.
+    """
+    return sorted(
+        delta.operations,
+        key=lambda op: (_OPERATION_ORDER.get(op.kind, 9), op.xid),
+    )
+
+
+def operation_to_dict(operation: Operation) -> dict:
+    """JSON-serializable form of one operation.
+
+    The shared serializer behind ``xydiff explain --json`` and the
+    ``ProvenanceReport`` export: every payload carries ``kind`` and
+    ``xid`` plus the kind's own fields (parent/position and subtree node
+    count for delete/insert, endpoint parents/positions for move, values
+    for update and the attribute operations).
+    """
+    kind = operation.kind
+    payload: dict = {"kind": kind, "xid": operation.xid}
+    if kind in ("delete", "insert"):
+        payload["parent_xid"] = operation.parent_xid
+        payload["position"] = operation.position
+        payload["nodes"] = operation.subtree.subtree_size()
+    elif kind == "move":
+        payload["from_parent_xid"] = operation.from_parent_xid
+        payload["from_position"] = operation.from_position
+        payload["to_parent_xid"] = operation.to_parent_xid
+        payload["to_position"] = operation.to_position
+    elif kind == "update":
+        payload["old_value"] = operation.old_value
+        payload["new_value"] = operation.new_value
+    elif kind == "attr-insert":
+        payload["name"] = operation.name
+        payload["value"] = operation.value
+    elif kind == "attr-delete":
+        payload["name"] = operation.name
+        payload["old_value"] = operation.old_value
+    elif kind == "attr-update":
+        payload["name"] = operation.name
+        payload["old_value"] = operation.old_value
+        payload["new_value"] = operation.new_value
+    return payload
+
+
 def explain_delta(
     delta: Delta,
     old_document: Optional[Document] = None,
     new_document: Optional[Document] = None,
+    annotate=None,
 ) -> str:
     """Multi-line prose description of a whole delta.
 
@@ -137,6 +203,11 @@ def explain_delta(
         delta: The delta to narrate.
         old_document / new_document: The versions the delta connects;
             either may be omitted (XIDs are shown instead of paths).
+        annotate: Optional callable mapping an operation to an extra
+            clause (or ``None``), rendered as an indented ``because``
+            line under the operation — how ``xydiff explain --why``
+            attaches :meth:`repro.obs.provenance.ProvenanceReport.
+            because` to each line.
 
     Returns:
         One line per operation in a stable order (deletes, inserts,
@@ -146,20 +217,12 @@ def explain_delta(
         return "no changes"
     old_index = xid_index(old_document) if old_document is not None else None
     new_index = xid_index(new_document) if new_document is not None else None
-    order = {
-        "delete": 0,
-        "insert": 1,
-        "move": 2,
-        "update": 3,
-        "attr-insert": 4,
-        "attr-delete": 4,
-        "attr-update": 4,
-    }
-    operations = sorted(
-        delta.operations,
-        key=lambda op: (order.get(op.kind, 9), op.xid),
-    )
-    return "\n".join(
-        explain_operation(operation, old_index, new_index)
-        for operation in operations
-    )
+    lines = []
+    for operation in sorted_operations(delta):
+        line = explain_operation(operation, old_index, new_index)
+        if annotate is not None:
+            clause = annotate(operation)
+            if clause:
+                line += "\n" + " " * 9 + f"because {clause}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -29,14 +29,22 @@ class MatchingError(ValueError):
 
 
 class Matching:
-    """Bidirectional node correspondence between an old and a new tree."""
+    """Bidirectional node correspondence between an old and a new tree.
 
-    __slots__ = ("_old_to_new", "_new_to_old", "_locked")
+    An optional *recorder* (see :mod:`repro.obs.provenance`) is notified
+    after every accepted :meth:`add` and :meth:`lock`.  Recording is
+    observational only — the recorder cannot veto or alter a pair — and
+    with the default ``recorder=None`` the mutation paths are exactly
+    the unrecorded ones.
+    """
 
-    def __init__(self):
+    __slots__ = ("_old_to_new", "_new_to_old", "_locked", "_recorder")
+
+    def __init__(self, recorder=None):
         self._old_to_new: dict[Node, Node] = {}
         self._new_to_old: dict[Node, Node] = {}
         self._locked: set[Node] = set()
+        self._recorder = recorder
 
     # -- mutation ------------------------------------------------------------
 
@@ -66,12 +74,16 @@ class Matching:
             raise MatchingError("node is locked by the ID-attribute phase")
         self._old_to_new[old] = new
         self._new_to_old[new] = old
+        if self._recorder is not None:
+            self._recorder.record_match(old, new)
 
     def lock(self, node: Node) -> None:
         """Forbid the node from ever being matched (ID-attribute rule)."""
         if node in self._old_to_new or node in self._new_to_old:
             raise MatchingError("cannot lock a matched node")
         self._locked.add(node)
+        if self._recorder is not None:
+            self._recorder.record_lock(node)
 
     # -- queries -------------------------------------------------------------
 

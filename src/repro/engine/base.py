@@ -171,6 +171,9 @@ class DiffEngine:
         # disagree (the single-source-of-truth contract — see
         # repro.obs.profiler).
         tracer = context.tracer
+        recorder = context.recorder
+        if recorder is not None and not getattr(recorder, "enabled", True):
+            recorder = None
         engine_span = None
         if tracer is not None:
             engine_span = tracer.start_span(
@@ -193,12 +196,22 @@ class DiffEngine:
                     stage_span = tracer.start_span(
                         f"stage:{stage.name}", stage=stage.name, order=order
                     )
+                matches_before = (
+                    recorder.match_count() if recorder is not None else 0
+                )
                 started = time.perf_counter()
                 try:
                     stage.run(run)
                 finally:
                     elapsed = time.perf_counter() - started
                     if stage_span is not None:
+                        if recorder is not None:
+                            # Attribution tag: pairs this stage added.  Only
+                            # with an active recorder, so recorder-off traces
+                            # stay byte-identical to the seed's.
+                            stage_span.attrs["matches"] = (
+                                recorder.match_count() - matches_before
+                            )
                         tracer.end_span(stage_span, duration=elapsed)
                 context.timings.append(
                     StageTiming(stage.name, order, elapsed, stage.phase_key)
@@ -212,6 +225,8 @@ class DiffEngine:
                 engine_span.attrs["new_nodes"] = (
                     run.new_nodes or run.new.subtree_size()
                 )
+                if recorder is not None:
+                    engine_span.attrs["matches"] = recorder.match_count()
                 tracer.end_span(engine_span)
         if run.delta is None:
             raise EngineError(

@@ -106,6 +106,13 @@ class DiffContext:
             measurement — the same float recorded in ``timings`` and on
             the ``end`` :class:`StageEvent`.  ``None`` (the default)
             costs one pointer comparison per stage.
+        recorder: Optional match-provenance recorder
+            (:class:`repro.obs.provenance.ProvenanceRecorder`).  Engines
+            that support it (BULD) notify it of every match/lock/
+            rejection decision; with a tracer also present, each
+            ``stage:<name>`` span gains a ``matches`` attribute.  A
+            recorder whose ``enabled`` is false (``NullRecorder``) is
+            treated exactly like ``None``.
     """
 
     config: Optional[DiffConfig] = None
@@ -118,6 +125,7 @@ class DiffContext:
     counters: dict[str, float] = field(default_factory=dict)
     timings: list[StageTiming] = field(default_factory=list)
     tracer: Optional[object] = None
+    recorder: Optional[object] = None
 
     def count(self, key: str, amount: float = 1) -> None:
         """Increment a named counter."""

@@ -62,7 +62,12 @@ class BuldEngine(DiffEngine):
     name = "buld"
 
     def stages(self, run: EngineRun) -> list[Stage]:
-        matcher = BuldMatcher(run.old, run.new, run.context.config)
+        matcher = BuldMatcher(
+            run.old,
+            run.new,
+            run.context.config,
+            recorder=run.context.recorder,
+        )
         run.extra["matcher"] = matcher
         return [
             Stage("annotate", self._annotate, "phase2", required=True),

@@ -15,6 +15,13 @@ full span/metric catalogue and how each maps onto the paper's figures):
   engine pipeline's :class:`~repro.engine.context.StageEvent` stream and
   converts stages into spans and histogram samples without re-timing
   anything (the engine's one measurement is the single source of truth).
+- :mod:`repro.obs.provenance` — :class:`ProvenanceRecorder` captures
+  BULD's per-decision record (which phase matched each pair, why
+  candidates were rejected, why unmatched nodes stayed unmatched);
+  :func:`build_report` joins it with the documents into a
+  :class:`ProvenanceReport` — the machinery behind ``xydiff explain
+  --why`` and ``xydiff audit``.  :data:`NULL_RECORDER` is the
+  zero-overhead default.
 
 Quick profile of a diff::
 
@@ -35,6 +42,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profiler import StageProfiler
+from repro.obs.provenance import (
+    NULL_RECORDER,
+    MatchRecorder,
+    NullRecorder,
+    ProvenanceRecorder,
+    ProvenanceReport,
+    build_report,
+    publish_provenance_metrics,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -49,12 +65,18 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "MatchRecorder",
     "MetricsRegistry",
+    "NULL_RECORDER",
     "NULL_TRACER",
+    "NullRecorder",
     "NullTracer",
+    "ProvenanceRecorder",
+    "ProvenanceReport",
     "Span",
     "StageProfiler",
     "Tracer",
+    "build_report",
     "load_trace",
-    "render_trace",
+    "publish_provenance_metrics",
 ]

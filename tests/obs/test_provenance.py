@@ -1,0 +1,291 @@
+"""Match provenance: the full decision record of a BULD run.
+
+The contract under test (ISSUE 5):
+
+- every node of both documents is accounted for in the
+  ``ProvenanceReport`` — matched-with-phase or unmatched-with-cause —
+  over simulator-generated pairs (the property test);
+- deltas are byte-identical with and without a recorder (recording is
+  observational);
+- the per-phase metrics and the ``matches`` span tags agree with the
+  report's own counts;
+- every delta operation gets a non-empty "because" clause.
+"""
+
+import json
+
+import pytest
+
+from repro.core.deltaxml import serialize_delta
+from repro.core.diff import diff, diff_with_stats
+from repro.core.explain import explain_delta
+from repro.core.matching import Matching
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.provenance import (
+    MATCH_PHASES,
+    NULL_RECORDER,
+    NullRecorder,
+    ProvenanceRecorder,
+    UNMATCHED_CAUSES,
+    build_report,
+    publish_provenance_metrics,
+)
+from repro.simulator import (
+    GeneratorConfig,
+    SimulatorConfig,
+    generate_document,
+    simulate_changes,
+)
+from repro.xmlkit import parse
+from repro.xmlkit.model import preorder
+
+
+def scenario(doc_seed, sim_seed, nodes=90, **probabilities):
+    base = generate_document(GeneratorConfig(target_nodes=nodes, seed=doc_seed))
+    result = simulate_changes(
+        base, SimulatorConfig(seed=sim_seed, **probabilities)
+    )
+    return (
+        base.clone(keep_xids=False),
+        result.new_document.clone(keep_xids=False),
+    )
+
+
+def recorded_diff(old, new):
+    recorder = ProvenanceRecorder()
+    delta, stats = diff_with_stats(old, new, recorder=recorder)
+    return recorder, delta, stats
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        recorder = NullRecorder()
+        assert recorder.enabled is False
+        assert recorder.match_count() == 0
+        recorder.record_match(None, None)
+        recorder.record_lock(None)
+        recorder.record_rejection("no-signature-match")
+        recorder.set_weights(None, None)
+        assert recorder.match_count() == 0
+
+    def test_shared_instance(self):
+        assert NULL_RECORDER.enabled is False
+
+    def test_normalized_away_by_matching_construction(self):
+        # BULD normalizes a disabled recorder to None before building
+        # its Matching; the null recorder must therefore never be
+        # reachable from a run even when passed explicitly.
+        old = parse("<a><b>x</b></a>")
+        new = parse("<a><b>y</b></a>")
+        _, stats = diff_with_stats(old, new, recorder=NullRecorder())
+        assert stats.matched_nodes > 0  # the run happened normally
+
+
+class TestRecorderPrimitives:
+    def test_matching_notifies_recorder(self):
+        recorder = ProvenanceRecorder()
+        recorder.phase = "subtree-hash"
+        matching = Matching(recorder=recorder)
+        old = parse("<a/>").children[0]
+        new = parse("<a/>").children[0]
+        matching.add(old, new)
+        assert recorder.match_count() == 1
+        record = recorder.match_of_old(old)
+        assert record is recorder.match_of_new(new)
+        assert record.phase == "subtree-hash"
+
+    def test_lock_recorded(self):
+        recorder = ProvenanceRecorder()
+        matching = Matching(recorder=recorder)
+        node = parse("<a/>").children[0]
+        matching.lock(node)
+        assert node in recorder.locked
+
+    def test_last_rejection_wins(self):
+        recorder = ProvenanceRecorder()
+        node = parse("<a/>").children[0]
+        recorder.record_rejection("no-signature-match", new=node)
+        recorder.record_rejection("weight-bound", new=node)
+        assert recorder._rejection_by_new[node].reason == "weight-bound"
+        assert len(recorder.rejections) == 2
+
+
+class TestEveryNodeAccounted:
+    """The acceptance-criteria property, over simulator pairs."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_full_accounting(self, seed):
+        old, new = scenario(seed, seed + 100, nodes=80)
+        recorder, delta, stats = recorded_diff(old, new)
+        report = build_report(recorder, old, new, delta)
+
+        assert len(report.old_entries) == sum(1 for _ in preorder(old))
+        assert len(report.new_entries) == sum(1 for _ in preorder(new))
+        for entry in report.old_entries + report.new_entries:
+            if entry.status == "matched":
+                assert entry.phase in MATCH_PHASES
+                assert entry.cause is None
+            else:
+                assert entry.status == "unmatched"
+                assert entry.cause in UNMATCHED_CAUSES
+                assert entry.phase is None
+
+        # Matched pairs on both sides agree with each other and with
+        # the engine's own count (which excludes the root pair).
+        matched_old = sum(
+            1 for e in report.old_entries if e.status == "matched"
+        )
+        matched_new = sum(
+            1 for e in report.new_entries if e.status == "matched"
+        )
+        assert matched_old == matched_new == report.matched_pairs
+        assert report.matched_pairs == stats.matched_nodes + 1
+
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_weight_accounting_is_exact(self, seed):
+        old, new = scenario(seed, seed + 7, nodes=70)
+        recorder, delta, _ = recorded_diff(old, new)
+        report = build_report(recorder, old, new, delta)
+        # Own-weights sum back to the documents' total weights exactly
+        # (no node double-counted, none missed).
+        assert report.old_total_weight == pytest.approx(
+            recorder.old_weights[old]
+        )
+        assert report.new_total_weight == pytest.approx(
+            recorder.new_weights[new]
+        )
+        assert 0.0 <= report.unmatched_weight_ratio <= 1.0
+        assert report.matched_weight_ratio == pytest.approx(
+            1.0 - report.unmatched_weight_ratio
+        )
+
+    def test_identical_documents_fully_matched(self):
+        old, _ = scenario(1, 1)
+        new = old.clone(keep_xids=False)
+        recorder, delta, _ = recorded_diff(old, new)
+        report = build_report(recorder, old, new, delta)
+        assert report.old_unmatched == 0
+        assert report.new_unmatched == 0
+        assert report.unmatched_weight_ratio == 0.0
+
+    def test_locked_id_cause(self):
+        dtd = "<!DOCTYPE r [<!ATTLIST e id ID #REQUIRED>]>"
+        old = parse(dtd + '<r><e id="one">a</e></r>')
+        new = parse(dtd + '<r><e id="two">b</e></r>')
+        recorder, delta, _ = recorded_diff(old, new)
+        report = build_report(recorder, old, new, delta)
+        assert report.old_causes.get("locked-id", 0) >= 1
+        assert report.new_causes.get("locked-id", 0) >= 1
+
+
+class TestDeltaUnaffected:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_recorded_delta_byte_identical(self, seed):
+        old_a, new_a = scenario(seed, seed + 50)
+        old_b, new_b = scenario(seed, seed + 50)
+        plain = diff(old_a, new_a)
+        recorder = ProvenanceRecorder()
+        recorded, _ = diff_with_stats(old_b, new_b, recorder=recorder)
+        assert serialize_delta(plain) == serialize_delta(recorded)
+
+
+class TestMetricsAndSpans:
+    def test_phase_counters_match_report(self):
+        old, new = scenario(2, 60)
+        recorder, delta, _ = recorded_diff(old, new)
+        report = build_report(recorder, old, new, delta)
+        metrics = MetricsRegistry()
+        publish_provenance_metrics(metrics, recorder)
+        payload = json.loads(metrics.to_json())
+        counters = {
+            (name, tuple(sorted(series["labels"].items()))): series["value"]
+            for name, metric in payload.items()
+            if metric["kind"] == "counter"
+            for series in metric["series"]
+        }
+        for phase, count in report.phases.items():
+            assert counters[
+                ("repro_matches_total", (("phase", phase),))
+            ] == count
+        for reason, count in report.rejections.items():
+            assert counters[
+                ("repro_rejections_total", (("reason", reason),))
+            ] == count
+
+    def test_weight_histogram_observes_every_match(self):
+        old, new = scenario(4, 40)
+        recorder, delta, _ = recorded_diff(old, new)
+        metrics = MetricsRegistry()
+        publish_provenance_metrics(metrics, recorder)
+        text = metrics.to_prometheus()
+        count_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_match_weight_count")
+        ]
+        total = sum(float(line.rsplit(" ", 1)[1]) for line in count_lines)
+        assert total == recorder.match_count()
+
+    def test_stage_spans_carry_match_counts(self):
+        old, new = scenario(5, 70)
+        tracer = Tracer()
+        recorder = ProvenanceRecorder()
+        diff_with_stats(old, new, tracer=tracer, recorder=recorder)
+        spans = {span.name: span for span in tracer.iter_spans()}
+        stage_total = sum(
+            span.attrs["matches"]
+            for name, span in spans.items()
+            if name.startswith("stage:")
+        )
+        # Stages account for everything except the root pair, which is
+        # created when the pipeline is built, before the first stage.
+        assert stage_total == recorder.match_count() - 1
+        assert spans["engine:buld"].attrs["matches"] == recorder.match_count()
+
+    def test_diff_with_stats_publishes_when_metrics_present(self):
+        old, new = scenario(6, 80)
+        metrics = MetricsRegistry()
+        diff_with_stats(old, new, metrics=metrics, recorder=ProvenanceRecorder())
+        assert "repro_matches_total" in metrics.to_prometheus()
+
+
+class TestBecauseAndExports:
+    def test_every_operation_has_a_because(self):
+        old, new = scenario(7, 90)
+        recorder, delta, _ = recorded_diff(old, new)
+        report = build_report(recorder, old, new, delta)
+        assert not delta.is_empty()
+        for operation in delta.operations:
+            clause = report.because(operation)
+            assert clause
+            assert "[" in clause  # carries the phase / cause tag
+
+    def test_explain_delta_annotate_hook(self):
+        old, new = scenario(7, 90)
+        recorder, delta, _ = recorded_diff(old, new)
+        report = build_report(recorder, old, new, delta)
+        text = explain_delta(delta, old, new, annotate=report.because)
+        assert "because" in text
+        plain = explain_delta(delta, old, new)
+        assert "because" not in plain
+
+    def test_to_dict_schema_and_node_toggle(self):
+        old, new = scenario(8, 95)
+        recorder, delta, _ = recorded_diff(old, new)
+        report = build_report(recorder, old, new, delta)
+        full = report.to_dict()
+        assert full["schema"] == "repro.provenance/1"
+        assert len(full["nodes"]["old"]) == len(report.old_entries)
+        summary = report.to_dict(include_nodes=False)
+        assert "nodes" not in summary
+        json.dumps(full)  # must be serializable as-is
+
+    def test_to_text_lists_unmatched_nodes(self):
+        old, new = scenario(9, 99)
+        recorder, delta, _ = recorded_diff(old, new)
+        report = build_report(recorder, old, new, delta)
+        text = report.to_text()
+        assert "matched pairs:" in text
+        for entry in report.old_entries:
+            if entry.status == "unmatched":
+                assert entry.path in text

@@ -518,3 +518,125 @@ class TestBenchCommand:
              "--out-dir", str(tmp_path)]
         ) == 2
         assert "no cases match" in capsys.readouterr().err
+
+
+class TestExplainProvenance:
+    def test_explain_why_adds_because_lines(self, files, capsys):
+        _, old, new = files
+        assert main(["explain", str(old), str(new), "--why"]) == 0
+        out = capsys.readouterr().out
+        assert "because" in out
+        assert "[" in out  # the phase / cause tag
+
+    def test_explain_json(self, files, capsys):
+        import json
+
+        _, old, new = files
+        assert main(["explain", str(old), str(new), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        kinds = {op["kind"] for op in payload["operations"]}
+        assert "update" in kinds
+        assert all("because" not in op for op in payload["operations"])
+
+    def test_explain_json_why(self, files, capsys):
+        import json
+
+        _, old, new = files
+        assert main(["explain", str(old), str(new), "--json", "--why"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["operations"]
+        assert all(op["because"] for op in payload["operations"])
+
+    def test_explain_plain_unchanged(self, files, capsys):
+        _, old, new = files
+        assert main(["explain", str(old), str(new)]) == 0
+        assert "because" not in capsys.readouterr().out
+
+
+class TestAudit:
+    def test_audit_passes_with_default_threshold(self, files, capsys):
+        _, old, new = files
+        assert main(["audit", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "matched pairs:" in out
+        assert "unmatched weight:" in out
+
+    def test_audit_fails_on_tight_threshold(self, files, capsys):
+        _, old, new = files
+        assert main(
+            ["audit", str(old), str(new), "--max-unmatched", "0.0001"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "audit:" in err
+        assert "--max-unmatched" in err
+
+    def test_audit_json_summary(self, files, capsys):
+        import json
+
+        _, old, new = files
+        assert main(["audit", str(old), str(new), "--json", "--summary"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.provenance/1"
+        assert payload["ok"] is True
+        assert "nodes" not in payload
+
+    def test_audit_json_includes_nodes_by_default(self, files, capsys):
+        import json
+
+        _, old, new = files
+        assert main(["audit", str(old), str(new), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["nodes"]["old"]
+        assert payload["nodes"]["new"]
+
+    def test_audit_ground_truth_gate(self, tmp_path, capsys):
+        old = tmp_path / "old.xml"
+        new = tmp_path / "new.xml"
+        perfect = tmp_path / "perfect.xml"
+        assert main(
+            ["generate", "--nodes", "120", "--seed", "5", "-o", str(old)]
+        ) == 0
+        assert main(
+            ["simulate", str(old), "--seed", "6", "-o", str(new),
+             "--delta-output", str(perfect)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["audit", str(old), str(new), "--ground-truth", str(perfect),
+             "--json", "--summary"]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ground_truth_size_ratio"] > 0
+        # An absurdly tight size gate must flip the exit code.
+        assert main(
+            ["audit", str(old), str(new), "--ground-truth", str(perfect),
+             "--max-size-ratio", "0.01"]
+        ) == 1
+        assert "--max-size-ratio" in capsys.readouterr().err
+
+    def test_audit_malformed_xml_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        good = tmp_path / "good.xml"
+        bad.write_text("<a><unclosed></a>")
+        good.write_text("<a/>")
+        assert main(["audit", str(bad), str(good)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestObsRenderStdin:
+    def test_render_reads_dash_as_stdin(self, files, tmp_path, capsys,
+                                        monkeypatch):
+        import io
+
+        tmp_dir, old, new = files
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["diff", str(old), str(new), "--trace", str(trace),
+             "-o", str(tmp_path / "delta.xml")]
+        ) == 0
+        monkeypatch.setattr("sys.stdin", io.StringIO(trace.read_text()))
+        assert main(["obs", "render", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:buld" in out
