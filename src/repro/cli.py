@@ -16,7 +16,11 @@ Subcommands mirror the library's main capabilities:
 - ``simulate DOC``      — run the change simulator, emit the new version
   and/or the perfect delta.
 - ``obs render TRACE``  — pretty-print a saved JSON-lines trace.
-- ``fsck STORE``        — check (and repair) a directory version store.
+- ``fsck STORE``        — check (and repair) a version store; STORE is a
+  store URL (``file://``, ``sqlite://``, ``blob://``,
+  ``shard://PATH?shards=N&backend=SCHEME``) or a bare path.
+- ``store ...``         — inspect and update a version store by URL
+  (``ls``, ``log``, ``cat``, ``commit``).
 - ``bench``             — run the registered benchmark experiments
   (``BENCH_*.json``), or ``bench --compare`` two result files
   (see ``docs/benchmarks.md``).
@@ -295,6 +299,24 @@ def _cmd_sitediff(args) -> int:
     ]
     for key in sorted(parse_failures):
         record_site_error(site_delta, key, parse_failures[key], metrics)
+    committed = None
+    if args.store:
+        from repro.versioning.sharded import open_repository
+        from repro.versioning.version_control import VersionStore
+
+        repository = open_repository(args.store)
+        store = VersionStore(
+            repository=repository, tracer=tracer, metrics=metrics
+        )
+        committed = 0
+        for key in sorted(set(site_delta.added) | set(site_delta.changed)):
+            document = new_snapshot.get(key)
+            if repository.exists(key):
+                store.commit(key, document)
+            else:
+                store.create(key, document)
+            committed += 1
+        repository.close()
     _write_obs(args, tracer, metrics)
 
     lines = []
@@ -317,6 +339,8 @@ def _cmd_sitediff(args) -> int:
         lines.append(f"unchanged {key}")
     for key, message in sorted(site_delta.failed.items()):
         lines.append(f"failed    {key}  ({message})")
+    if committed is not None:
+        lines.append(f"committed {committed} documents to {args.store}")
     lines.append(
         f"summary: {site_delta.summary()} "
         f"({site_delta.change_ratio():.0%} of documents touched, "
@@ -345,8 +369,11 @@ def _cmd_fsck(args) -> int:
     repaired_ids = {id(finding) for finding in report.repaired}
     for finding in report.findings:
         status = "repaired" if id(finding) in repaired_ids else "found"
+        origin = finding.scheme or "?"
+        if finding.shard is not None:
+            origin += f"/shard-{finding.shard:03d}"
         lines.append(
-            f"{status:<9} {finding.kind:<18} {finding.path}  "
+            f"{status:<9} {finding.kind:<18} [{origin}] {finding.path}  "
             f"({finding.message})"
         )
     lines.append(
@@ -359,6 +386,85 @@ def _cmd_fsck(args) -> int:
     _write(args.output, "\n".join(lines) + "\n")
     _write_obs(args, tracer, metrics)
     return report.exit_code()
+
+
+def _open_version_store(args, *, must_exist=True, tracer=None, metrics=None):
+    from repro.versioning.sharded import open_repository
+    from repro.versioning.version_control import VersionStore
+
+    repository = open_repository(args.store, must_exist=must_exist)
+    return VersionStore(
+        repository=repository, tracer=tracer, metrics=metrics
+    )
+
+
+def _cmd_store_ls(args) -> int:
+    store = _open_version_store(args)
+    lines = []
+    for doc_id in store.document_ids():
+        version = store.current_version(doc_id)
+        snapshots = store.repository.snapshot_versions(doc_id)
+        lines.append(
+            f"{doc_id}  version={version} checkpoints={len(snapshots)}"
+        )
+    lines.append(f"summary: documents={len(lines)}")
+    store.repository.close()
+    _write(args.output, "\n".join(lines) + "\n")
+    return 0
+
+
+def _cmd_store_log(args) -> int:
+    store = _open_version_store(args)
+    current = store.current_version(args.doc_id)
+    checkpoints = set(store.repository.snapshot_versions(args.doc_id))
+    lines = []
+    for version in range(1, current + 1):
+        marks = []
+        if version == current:
+            marks.append("current")
+        if version in checkpoints:
+            marks.append("checkpoint")
+        suffix = f"  ({', '.join(marks)})" if marks else ""
+        lines.append(f"version {version}{suffix}")
+    store.repository.close()
+    _write(args.output, "\n".join(lines) + "\n")
+    return 0
+
+
+def _cmd_store_cat(args) -> int:
+    store = _open_version_store(args)
+    version = (
+        args.version
+        if args.version is not None
+        else store.current_version(args.doc_id)
+    )
+    document = store.get_version(args.doc_id, version)
+    store.repository.close()
+    _write(args.output, serialize(document))
+    return 0
+
+
+def _cmd_store_commit(args) -> int:
+    tracer, metrics = _obs_from_args(args)
+    store = _open_version_store(
+        args, must_exist=False, tracer=tracer, metrics=metrics
+    )
+    document = _load_document(args.document, args.keep_whitespace)
+    doc_id = args.doc_id
+    if store.repository.exists(doc_id):
+        delta = store.commit(doc_id, document)
+        version = store.current_version(doc_id)
+        summary = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(delta.summary().items())
+        )
+        print(f"committed {doc_id} version {version} ({summary or 'no-op'})")
+    else:
+        store.create(doc_id, document)
+        print(f"created {doc_id} version 1")
+    store.repository.close()
+    _write_obs(args, tracer, metrics)
+    return 0
 
 
 def _cmd_validate(args) -> int:
@@ -738,14 +844,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="filename glob (default *.xml)")
     sub.add_argument("--deltas-dir", default=None,
                      help="write per-document delta files here")
+    sub.add_argument("--store", default=None, metavar="URL",
+                     help="also commit added/changed documents into this "
+                          "version store (file://, sqlite://, blob://, "
+                          "shard://PATH?shards=N&backend=SCHEME, or a "
+                          "bare path)")
     sub.add_argument("-o", "--output", default="-")
     add_obs(sub)
     sub.set_defaults(func=_cmd_sitediff)
 
     sub = subparsers.add_parser(
-        "fsck", help="check (and repair) a directory version store"
+        "fsck", help="check (and repair) a version store"
     )
-    sub.add_argument("store", help="store directory (a DirectoryRepository)")
+    sub.add_argument("store",
+                     help="store URL or path (file://, sqlite://, blob://, "
+                          "shard://, or a bare path — the layout is "
+                          "sniffed)")
     sub.add_argument("--repair", action="store_true",
                      help="apply the deterministic repairs "
                           "(replay deltas, rebuild manifests, drop orphans)")
@@ -759,6 +873,56 @@ def build_parser() -> argparse.ArgumentParser:
                      help="metrics file format (default: prometheus text)")
     sub.add_argument("-o", "--output", default="-")
     sub.set_defaults(func=_cmd_fsck)
+
+    sub = subparsers.add_parser(
+        "store", help="inspect and update a version store by URL"
+    )
+    store_sub = sub.add_subparsers(dest="store_command", required=True)
+
+    def add_store_url(leaf):
+        leaf.add_argument(
+            "--store", required=True, metavar="URL",
+            help="store URL or path (file://, sqlite://, blob://, "
+                 "shard://PATH?shards=N&backend=SCHEME, or a bare path)",
+        )
+
+    leaf = store_sub.add_parser(
+        "ls", help="list documents with their current versions"
+    )
+    add_store_url(leaf)
+    leaf.add_argument("-o", "--output", default="-")
+    leaf.set_defaults(func=_cmd_store_ls)
+
+    leaf = store_sub.add_parser(
+        "log", help="list the versions of one document"
+    )
+    leaf.add_argument("doc_id")
+    add_store_url(leaf)
+    leaf.add_argument("-o", "--output", default="-")
+    leaf.set_defaults(func=_cmd_store_log)
+
+    leaf = store_sub.add_parser(
+        "cat", help="print a stored version (past versions are "
+                    "reconstructed by backward delta replay)"
+    )
+    leaf.add_argument("doc_id")
+    add_store_url(leaf)
+    leaf.add_argument("--version", type=int, default=None,
+                      help="version to print (default: current)")
+    leaf.add_argument("-o", "--output", default="-")
+    leaf.set_defaults(func=_cmd_store_cat)
+
+    leaf = store_sub.add_parser(
+        "commit", help="commit a document file as the next version "
+                       "(creates the document, and the store, if new)"
+    )
+    leaf.add_argument("doc_id")
+    leaf.add_argument("document", help="XML file (or '-' for stdin)")
+    add_store_url(leaf)
+    leaf.add_argument("--keep-whitespace", action="store_true",
+                      help="preserve whitespace-only text nodes")
+    add_obs(leaf)
+    leaf.set_defaults(func=_cmd_store_commit)
 
     sub = subparsers.add_parser(
         "validate", help="check a delta file for structural problems"
@@ -866,8 +1030,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument(
         "experiments", nargs="*", metavar="EXPERIMENT",
-        help="experiment ids (FIG4 FIG5 FIG6 SITE COMP QUAL ABL STORE); "
-             "default: all",
+        help="experiment ids (FIG4 FIG5 FIG6 SITE COMP QUAL ABL STORE "
+             "SHARD); default: all",
     )
     sub.add_argument("--fast", action="store_true",
                      help="reduced workload sizes (the CI perf-smoke tier)")

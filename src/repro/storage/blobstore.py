@@ -1,0 +1,276 @@
+"""Content-addressed blob backend with refcounted garbage collection.
+
+Values live once per content: an object file named by its SHA-256 in a
+two-level fanout (``objects/ab/cd/<sha>``), exactly the layout used by
+content-addressed version stores, so identical payloads (a snapshot
+equal to ``current.xml``, re-created documents across shards) share
+bytes.  Keys are tiny ref files (``refs/<key>``) holding the object's
+hash — publishing a key is one atomic ref write.
+
+Each object carries a refcount sidecar (``<sha>.refs``) maintained on
+put/delete; when the last ref drops, the object is deleted eagerly.
+Refcounts are *derived* state: a crash can leave them drifted, which is
+why :meth:`BlobStoreBackend.orphans` recomputes reachability from the
+ref files and :meth:`BlobStoreBackend.gc` (or ``fsck --repair``)
+reconciles.
+
+A ``blob.json`` marker at the store root lets bare-path store URLs
+sniff the backend (:func:`repro.storage.backend.sniff_scheme`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.storage.atomic import (
+    atomic_write,
+    is_temp_file,
+    sha256_bytes,
+    sha256_file,
+)
+from repro.storage.backend import StorageBackend, register_scheme
+
+__all__ = ["BlobStoreBackend"]
+
+_MARKER = "blob.json"
+
+
+@register_scheme
+class BlobStoreBackend(StorageBackend):
+    """Hash-sharded content-addressed store (``blob://PATH``)."""
+
+    scheme = "blob"
+
+    def __init__(self, root, *, durability: str = "none", faults=None):
+        super().__init__(root, durability=durability, faults=faults)
+        os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
+        os.makedirs(os.path.join(self.root, "refs"), exist_ok=True)
+        marker = os.path.join(self.root, _MARKER)
+        if not os.path.exists(marker):
+            # Bootstrap metadata, not a data write: no fault hook.
+            atomic_write(marker, b'{\n  "schema": "repro.blob/1"\n}\n')
+
+    # -- paths ---------------------------------------------------------------
+
+    def _object_path(self, digest: str) -> str:
+        return os.path.join(
+            self.root, "objects", digest[:2], digest[2:4], digest
+        )
+
+    def _refcount_path(self, digest: str) -> str:
+        return self._object_path(digest) + ".refs"
+
+    def _ref_path(self, key: str) -> str:
+        return os.path.join(self.root, "refs", *key.split("/"))
+
+    def _ref(self, key: str) -> Optional[str]:
+        try:
+            with open(self._ref_path(key), "r", encoding="ascii") as handle:
+                return handle.read().strip() or None
+        except OSError:
+            return None
+
+    # -- object plumbing -----------------------------------------------------
+
+    def _write_object(self, digest: str, data: bytes) -> None:
+        path = self._object_path(digest)
+        # Dedup hits are verified, never trusted: a torn object left by
+        # an injected (or real) crash must not be mistaken for content.
+        if os.path.exists(path) and sha256_file(path) == digest:
+            return
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write(path, data, durability=self.durability)
+
+    def _read_count(self, digest: str) -> int:
+        try:
+            with open(
+                self._refcount_path(digest), "r", encoding="ascii"
+            ) as handle:
+                return int(handle.read().strip() or 0)
+        except (OSError, ValueError):
+            return 0
+
+    def _write_count(self, digest: str, count: int) -> None:
+        atomic_write(
+            self._refcount_path(digest), f"{count}\n".encode("ascii")
+        )
+
+    def _decref(self, digest: str) -> None:
+        count = self._read_count(digest) - 1
+        if count > 0:
+            self._write_count(digest, count)
+            return
+        for path in (self._object_path(digest), self._refcount_path(digest)):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _set_ref(self, key: str, digest: str) -> None:
+        old = self._ref(key)
+        if old == digest:
+            return
+        # Increment before publishing, decrement after: a crash in
+        # between over-counts (gc reconciles), never under-counts.
+        self._write_count(digest, self._read_count(digest) + 1)
+        ref_path = self._ref_path(key)
+        os.makedirs(os.path.dirname(ref_path), exist_ok=True)
+        atomic_write(
+            ref_path,
+            (digest + "\n").encode("ascii"),
+            durability=self.durability,
+        )
+        if old is not None:
+            self._decref(old)
+
+    # -- StorageBackend ------------------------------------------------------
+
+    def put(self, key: str, data: bytes, *, label: Optional[str] = None) -> str:
+        digest = sha256_bytes(data)
+        if self.faults is not None:
+
+            def tear(half: bytes) -> None:
+                # The filesystem-equivalent torn state: the key is
+                # published but reads back half the payload.
+                path = self._object_path(digest)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "wb") as handle:
+                    handle.write(half)
+                self._set_ref(key, digest)
+
+            self.faults.on_write(
+                label or key.rsplit("/", 1)[-1],
+                self._object_path(digest),
+                data,
+                tear=tear,
+            )
+        self._write_object(digest, data)
+        self._set_ref(key, digest)
+        return digest
+
+    def get(self, key: str) -> bytes:
+        digest = self._ref(key)
+        if digest is None:
+            raise FileNotFoundError(key)
+        try:
+            with open(self._object_path(digest), "rb") as handle:
+                return handle.read()
+        except OSError as exc:
+            raise FileNotFoundError(key) from exc
+
+    def delete(self, key: str, *, label: Optional[str] = None) -> None:
+        if self.faults is not None:
+            self.faults.on_unlink(
+                label or key.rsplit("/", 1)[-1], self._ref_path(key)
+            )
+        digest = self._ref(key)
+        try:
+            os.unlink(self._ref_path(key))
+        except OSError:
+            return
+        if digest is not None:
+            self._decref(digest)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        base = os.path.join(self.root, "refs")
+        # Scope the walk to the directory the prefix pins down (see
+        # FilesystemBackend.list_keys).
+        head, _, _ = prefix.rpartition("/")
+        if head:
+            start = os.path.join(base, *head.split("/"))
+            if not os.path.isdir(start):
+                return []
+        else:
+            start = base
+        keys = []
+        for directory, _, names in os.walk(start):
+            for name in names:
+                if is_temp_file(name):
+                    continue
+                path = os.path.join(directory, name)
+                key = os.path.relpath(path, base).replace(os.sep, "/")
+                if key.startswith(prefix):
+                    keys.append(key)
+        return sorted(keys)
+
+    def exists(self, key: str) -> bool:
+        return os.path.exists(self._ref_path(key))
+
+    def digest(self, key: str) -> str:
+        digest = self._ref(key)
+        if digest is None:
+            raise FileNotFoundError(key)
+        try:
+            return sha256_file(self._object_path(digest))
+        except OSError as exc:
+            raise FileNotFoundError(key) from exc
+
+    def location(self, key: str) -> str:
+        return self._ref_path(key)
+
+    # -- garbage -------------------------------------------------------------
+
+    def _referenced(self) -> set[str]:
+        return {
+            digest
+            for key in self.list_keys()
+            if (digest := self._ref(key)) is not None
+        }
+
+    def orphans(self) -> list[str]:
+        refs: list[str] = []
+        referenced = self._referenced()
+        for directory, _, names in os.walk(self.root):
+            for name in names:
+                path = os.path.join(directory, name)
+                rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+                if is_temp_file(name):
+                    refs.append(rel)
+                elif (
+                    rel.startswith("objects/")
+                    and not name.endswith(".refs")
+                    and name not in referenced
+                ):
+                    refs.append(rel)
+        return sorted(refs)
+
+    def sweep_orphan(self, ref: str) -> bool:
+        path = os.path.join(self.root, *ref.split("/"))
+        try:
+            os.unlink(path)
+        except OSError:
+            return False
+        if ref.startswith("objects/") and not ref.endswith(".refs"):
+            try:
+                os.unlink(path + ".refs")
+            except OSError:
+                pass
+        return True
+
+    def gc(self) -> int:
+        """Reconcile refcounts with the ref files and sweep unreferenced
+        objects; returns the number of objects removed."""
+        counts: dict[str, int] = {}
+        for key in self.list_keys():
+            digest = self._ref(key)
+            if digest is not None:
+                counts[digest] = counts.get(digest, 0) + 1
+        swept = 0
+        for directory, _, names in os.walk(os.path.join(self.root, "objects")):
+            for name in names:
+                if name.endswith(".refs") or is_temp_file(name):
+                    continue
+                if name in counts:
+                    self._write_count(name, counts[name])
+                else:
+                    for path in (
+                        os.path.join(directory, name),
+                        os.path.join(directory, name + ".refs"),
+                    ):
+                        try:
+                            os.unlink(path)
+                        except OSError:
+                            pass
+                    swept += 1
+        return swept

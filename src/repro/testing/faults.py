@@ -105,19 +105,27 @@ class FaultInjector:
         self.fired = False
         self._remaining = self.crash_after
 
-    # -- hooks called by the atomic layer ------------------------------------
+    # -- hooks called by the storage layer -----------------------------------
 
-    def on_write(self, label: str, path: str, data: bytes) -> None:
-        self._maybe_fail("write", label, path, data)
+    def on_write(self, label: str, path: str, data: bytes, tear=None) -> None:
+        """Fault point before a write.
+
+        ``tear`` lets non-file backends supply their own torn-write
+        shape: a callable receiving the half payload, expected to make
+        it visible the way that backend's "crash mid-flush" would (a
+        half row committed to SQLite, say).  ``None`` keeps the
+        filesystem default of writing half the payload to ``path``.
+        """
+        self._maybe_fail("write", label, path, data, tear)
         self.ops.append(("write", label))
 
     def on_unlink(self, label: str, path: str) -> None:
-        self._maybe_fail("unlink", label, path, None)
+        self._maybe_fail("unlink", label, path, None, None)
         self.ops.append(("unlink", label))
 
     # -- internals -----------------------------------------------------------
 
-    def _maybe_fail(self, op: str, label: str, path: str, data) -> None:
+    def _maybe_fail(self, op: str, label: str, path: str, data, tear) -> None:
         if self.fired or self.crash_after is None:
             return
         if self.label is not None and label != self.label:
@@ -131,10 +139,14 @@ class FaultInjector:
                 f"injected EIO at {op} {label!r}", label=label, path=path
             )
         if self.mode == "torn" and op == "write" and data:
-            # Tear the *target* file: the half-written state a
-            # non-atomic filesystem could expose after a crash.
-            with open(path, "wb") as handle:
-                handle.write(data[: max(1, len(data) // 2)])
+            half = data[: max(1, len(data) // 2)]
+            if tear is not None:
+                tear(half)
+            else:
+                # Tear the *target* file: the half-written state a
+                # non-atomic filesystem could expose after a crash.
+                with open(path, "wb") as handle:
+                    handle.write(half)
         raise InjectedCrash(
             f"injected crash at {op} {label!r}", label=label, path=path
         )

@@ -1,7 +1,9 @@
 """Xyleme-style change control built on the diff (the paper's Figure 1).
 
 - :mod:`repro.versioning.repository` — snapshot + delta-chain storage
-  (memory and directory backed).
+  (in memory, or through any :class:`repro.storage.StorageBackend`).
+- :mod:`repro.versioning.sharded` — the ``hash(doc_id) → shard``
+  router and :func:`open_repository`, the store-URL front door.
 - :mod:`repro.versioning.version_control` — commit pipeline, version
   reconstruction, cross-version aggregation.
 - :mod:`repro.versioning.temporal` — querying the past via XIDs.
@@ -16,6 +18,7 @@ from repro.versioning.merge import Conflict, MergeResult, merge
 from repro.versioning.sitediff import SiteDelta, SiteSnapshot, diff_sites
 from repro.versioning.statistics import ChangeStatistics
 from repro.versioning.repository import (
+    BackendRepository,
     CorruptStoreError,
     DirectoryRepository,
     Finding,
@@ -23,6 +26,7 @@ from repro.versioning.repository import (
     RecoveryEvent,
     Repository,
 )
+from repro.versioning.sharded import ShardedRepository, open_repository
 from repro.versioning.temporal import NodeHistory, TemporalQueries, VersionEvent
 from repro.versioning.textindex import TextIndex
 from repro.versioning.version_control import VersionStore
@@ -30,6 +34,7 @@ from repro.versioning.version_control import VersionStore
 __all__ = [
     "Alert",
     "Alerter",
+    "BackendRepository",
     "ChangeStatistics",
     "Conflict",
     "CorruptStoreError",
@@ -45,10 +50,12 @@ __all__ = [
     "NodeHistory",
     "RecoveryEvent",
     "Repository",
+    "ShardedRepository",
     "SiteDelta",
     "SiteSnapshot",
     "Subscription",
     "diff_sites",
+    "open_repository",
     "TemporalQueries",
     "TextIndex",
     "VersionEvent",

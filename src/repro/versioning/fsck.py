@@ -1,14 +1,19 @@
 """Store checking and repair (the ``xydiff fsck`` subcommand).
 
-``fsck_store`` audits a :class:`~repro.versioning.DirectoryRepository`
-— opening it first runs journal recovery for torn commits — then
-verifies checksums against each document's ``manifest.json`` and, with
+``fsck_store`` audits any repository reachable through a store URL
+(``file://``, ``sqlite://``, ``blob://``, ``shard://`` — see
+:func:`repro.versioning.sharded.open_repository`) — opening it first
+runs journal recovery for torn commits — then verifies checksums
+against each document's ``manifest.json`` record and, with
 ``repair=True``, applies the deterministic fixes:
 
-- **orphan temp files / unexpected files** are removed (they are
-  invisible to every read path: the metadata never references them);
-- a **missing or unreadable manifest** is rebuilt from the files on
-  disk (trust-on-first-hash, the only option for legacy stores);
+- **orphan temp files / unreferenced blob objects / unexpected files**
+  are removed (they are invisible to every read path: the metadata
+  never references them);
+- a **half-created document** (a prefix without metadata, left by a
+  crash before the first commit completed) is removed;
+- a **missing or unreadable manifest** is rebuilt from the stored
+  values (trust-on-first-hash, the only option for legacy stores);
 - a **damaged ``current.xml``** is re-derived by replaying the stored
   delta chain *forward* from the nearest checkpoint snapshot — the
   recovery move the paper's completed deltas are designed for;
@@ -21,6 +26,10 @@ match the manifest's recorded SHA-256 — a repair can never silently
 substitute different content.  Damaged delta files and metadata are
 reported but not repaired: their content exists nowhere else.
 
+Every finding carries the backend scheme it came from and, for sharded
+stores, the shard index; repairs are routed back to that shard's
+backend.
+
 Metrics (``metrics=``): ``repro_fsck_documents_total``,
 ``repro_fsck_findings_total{kind=...}``,
 ``repro_fsck_repairs_total{kind=...}``.
@@ -28,23 +37,22 @@ Metrics (``metrics=``): ``repro_fsck_documents_total``,
 
 from __future__ import annotations
 
-import os
-import shutil
 from dataclasses import dataclass, field
 
-from repro.storage.atomic import atomic_write, sha256_bytes, sha256_file
+from repro.storage.atomic import sha256_bytes
 from repro.versioning.repository import (
     CURRENT_NAME,
     MANIFEST_NAME,
     META_NAME,
-    DirectoryRepository,
+    BackendRepository,
     Finding,
     RecoveryEvent,
     _DELTA_FILE_RE,
     _SNAPSHOT_FILE_RE,
     _replay_from_snapshot,
 )
-from repro.xmlkit.errors import ReproError, RepositoryError
+from repro.versioning.sharded import ShardedRepository, open_repository
+from repro.xmlkit.errors import ReproError
 from repro.xmlkit.serializer import serialize_bytes
 
 __all__ = ["FsckReport", "fsck_store"]
@@ -55,7 +63,7 @@ class FsckReport:
     """Outcome of one ``fsck`` run.
 
     Attributes:
-        documents: Number of document directories checked.
+        documents: Number of document slots checked (across all shards).
         recovery_events: Torn commits resolved while opening the store.
         findings: Problems found by verification (pre-repair).
         repaired: The subset of ``findings`` that was fixed.
@@ -83,35 +91,29 @@ class FsckReport:
 
 
 def fsck_store(
-    base_path,
+    store,
     *,
     repair: bool = False,
     durability: str = "none",
     metrics=None,
 ) -> FsckReport:
-    """Check (and optionally repair) a directory store.
+    """Check (and optionally repair) a version store.
 
     Args:
-        base_path: Root directory of the store.  Must exist — fsck
-            never creates a store.
+        store: Store URL, bare path, or an open
+            :class:`~repro.versioning.repository.Repository`.  Must
+            exist — fsck never creates a store.
         repair: Apply the deterministic fixes described in the module
             docstring.
         durability: Write policy for repairs.
         metrics: Optional :class:`repro.obs.metrics.MetricsRegistry`.
 
     Raises:
-        RepositoryError: when ``base_path`` is not a directory.
+        RepositoryError: when the store does not exist.
     """
-    base_path = os.fspath(base_path)
-    if not os.path.isdir(base_path):
-        raise RepositoryError(f"store directory {base_path!r} does not exist")
-    repo = DirectoryRepository(base_path, durability=durability)
+    repo = open_repository(store, durability=durability, must_exist=True)
     report = FsckReport(recovery_events=list(repo.recovery_events))
-    report.documents = sum(
-        1
-        for entry in os.listdir(base_path)
-        if os.path.isdir(os.path.join(base_path, entry))
-    )
+    report.documents = repo.document_count()
     report.findings = repo.verify()
     if repair:
         for finding in report.findings:
@@ -143,106 +145,98 @@ def fsck_store(
     return report
 
 
-def _repair(repo: DirectoryRepository, finding: Finding) -> bool:
+def _target_repo(repo, finding: Finding) -> BackendRepository:
+    """The single-backend repository a repair must run against."""
+    if isinstance(repo, ShardedRepository):
+        return repo.shard_repo(finding.shard)
+    return repo
+
+
+def _repair(repo, finding: Finding) -> bool:
     """Apply the fix for one finding; True on success."""
     try:
-        if finding.kind == "orphan-temp" or finding.kind == "unexpected-file":
-            os.unlink(finding.path)
+        target = _target_repo(repo, finding)
+        backend = target.backend
+        if finding.kind == "orphan-temp":
+            return backend.sweep_orphan(finding.key)
+        if finding.kind == "unexpected-file":
+            backend.delete(finding.key)
             return True
         if finding.kind == "incomplete-document":
-            shutil.rmtree(finding.path)
+            for key in backend.list_keys(finding.key + "/"):
+                backend.delete(key)
             return True
+        prefix = finding.key.split("/", 1)[0]
         if finding.kind == "missing-manifest":
-            return _rebuild_manifest(repo, os.path.dirname(finding.path))
+            return _rebuild_manifest(target, prefix)
         if finding.kind == "missing-checksum":
-            return _record_checksum(repo, finding.path)
+            return _record_checksum(target, finding.key)
         if finding.kind in ("checksum-mismatch", "missing-file"):
-            name = os.path.basename(finding.path)
-            doc_dir = os.path.dirname(finding.path)
+            name = finding.key.rsplit("/", 1)[-1]
             if name == CURRENT_NAME:
-                return _rederive_current(repo, doc_dir)
+                return _rederive_current(target, prefix)
             if _SNAPSHOT_FILE_RE.match(name):
-                return _rederive_snapshot(repo, doc_dir, name)
+                return _rederive_snapshot(target, prefix, name)
         return False
     except (ReproError, OSError):
         return False
 
 
-def _read_meta(repo: DirectoryRepository, doc_dir: str) -> dict:
-    return repo._read_json(os.path.join(doc_dir, META_NAME), "metadata")
+def _read_meta(repo: BackendRepository, prefix: str) -> dict:
+    return repo._read_json(prefix + "/" + META_NAME, "metadata")
 
 
-def _write_manifest(
-    repo: DirectoryRepository, doc_dir: str, manifest: dict
-) -> None:
-    from repro.storage.atomic import atomic_write_json
-
-    atomic_write_json(
-        os.path.join(doc_dir, MANIFEST_NAME),
-        manifest,
-        durability=repo.durability,
-    )
-
-
-def _rebuild_manifest(repo: DirectoryRepository, doc_dir: str) -> bool:
-    """Recompute every checksum from the files on disk."""
-    meta = _read_meta(repo, doc_dir)
+def _rebuild_manifest(repo: BackendRepository, prefix: str) -> bool:
+    """Recompute every checksum from the stored values."""
+    meta = _read_meta(repo, prefix)
     current_version = int(meta.get("current_version", 1))
     snapshot_versions = {int(v) for v in meta.get("snapshots", {})}
     files: dict[str, str] = {}
-    for name in sorted(os.listdir(doc_dir)):
-        path = os.path.join(doc_dir, name)
+    for key in repo.backend.list_keys(prefix + "/"):
+        name = key[len(prefix) + 1 :]
         delta_match = _DELTA_FILE_RE.match(name)
         snapshot_match = _SNAPSHOT_FILE_RE.match(name)
         if name == CURRENT_NAME:
-            files[name] = sha256_file(path)
+            files[name] = repo.backend.digest(key)
         elif delta_match and 1 <= int(delta_match.group(1)) < current_version:
-            files[name] = sha256_file(path)
+            files[name] = repo.backend.digest(key)
         elif snapshot_match and int(snapshot_match.group(1)) in snapshot_versions:
-            files[name] = sha256_file(path)
-    _write_manifest(
-        repo, doc_dir, {"algorithm": "sha256", "files": files}
+            files[name] = repo.backend.digest(key)
+    repo.backend.put_json(
+        prefix + "/" + MANIFEST_NAME,
+        {"algorithm": "sha256", "files": files},
     )
     return True
 
 
-def _record_checksum(repo: DirectoryRepository, path: str) -> bool:
-    doc_dir = os.path.dirname(path)
-    manifest = repo._read_json(
-        os.path.join(doc_dir, MANIFEST_NAME), "manifest"
-    )
-    manifest.setdefault("files", {})[os.path.basename(path)] = sha256_file(
-        path
-    )
-    _write_manifest(repo, doc_dir, manifest)
+def _record_checksum(repo: BackendRepository, key: str) -> bool:
+    prefix, name = key.rsplit("/", 1)
+    manifest = repo._read_json(prefix + "/" + MANIFEST_NAME, "manifest")
+    manifest.setdefault("files", {})[name] = repo.backend.digest(key)
+    repo.backend.put_json(prefix + "/" + MANIFEST_NAME, manifest)
     return True
 
 
-def _rederive_current(repo: DirectoryRepository, doc_dir: str) -> bool:
+def _rederive_current(repo: BackendRepository, prefix: str) -> bool:
     """Replay the delta chain forward from the nearest checkpoint."""
-    meta = _read_meta(repo, doc_dir)
-    manifest = repo._read_json(
-        os.path.join(doc_dir, MANIFEST_NAME), "manifest"
-    )
+    meta = _read_meta(repo, prefix)
+    manifest = repo._read_json(prefix + "/" + MANIFEST_NAME, "manifest")
     expected = manifest.get("files", {}).get(CURRENT_NAME)
     document = _replay_from_snapshot(
-        doc_dir, meta, int(meta.get("current_version", 1))
+        repo.backend, prefix, meta, int(meta.get("current_version", 1))
     )
     if document is None:
         return False
     data = serialize_bytes(document)
     if expected is not None and sha256_bytes(data) != expected:
         return False
-    atomic_write(
-        os.path.join(doc_dir, CURRENT_NAME),
-        data,
-        durability=repo.durability,
-    )
+    repo.backend.put(prefix + "/" + CURRENT_NAME, data)
+    repo._current_cache.pop(str(meta.get("doc_id", "")), None)
     return True
 
 
 def _rederive_snapshot(
-    repo: DirectoryRepository, doc_dir: str, name: str
+    repo: BackendRepository, prefix: str, name: str
 ) -> bool:
     """Replay the delta chain backward from ``current.xml``.
 
@@ -252,12 +246,10 @@ def _rederive_snapshot(
     """
     from repro.core.apply import apply_backward
 
-    meta = _read_meta(repo, doc_dir)
+    meta = _read_meta(repo, prefix)
     version = int(_SNAPSHOT_FILE_RE.match(name).group(1))
-    doc_id = str(meta.get("doc_id", os.path.basename(doc_dir)))
-    manifest = repo._read_json(
-        os.path.join(doc_dir, MANIFEST_NAME), "manifest"
-    )
+    doc_id = str(meta.get("doc_id", prefix))
+    manifest = repo._read_json(prefix + "/" + MANIFEST_NAME, "manifest")
     expected = manifest.get("files", {}).get(name)
     document = repo.load_current(doc_id)
     for base in range(int(meta.get("current_version", 1)) - 1, version - 1, -1):
@@ -267,7 +259,5 @@ def _rederive_snapshot(
     data = serialize_bytes(document)
     if expected is not None and sha256_bytes(data) != expected:
         return False
-    atomic_write(
-        os.path.join(doc_dir, name), data, durability=repo.durability
-    )
+    repo.backend.put(prefix + "/" + name, data)
     return True

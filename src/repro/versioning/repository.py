@@ -8,35 +8,45 @@ version is then possibly removed from the repository" — old versions are
 reconstructed on demand by applying deltas backward from the current
 snapshot.
 
-Two implementations share the interface:
+Three implementations share the interface:
 
 - :class:`MemoryRepository` — everything in process memory.
-- :class:`DirectoryRepository` — one directory per document holding the
-  current snapshot (``current.xml``), the deltas
-  (``delta-0001-0002.xml`` ...), and a small metadata file.  Documents and
-  deltas are stored in their XML forms, so the store is inspectable with
-  any XML tooling — a property the paper makes a point of.
+- :class:`BackendRepository` — persistent storage through any
+  :class:`repro.storage.backend.StorageBackend` (filesystem, SQLite,
+  content-addressed blobs).  Per document it keeps the current snapshot
+  (``<doc>/current.xml``), the deltas (``<doc>/delta-0001-0002.xml``
+  ...), and a small metadata record.  Documents and deltas are stored
+  in their XML forms, so the store is inspectable with any XML tooling
+  — a property the paper makes a point of.
+- :class:`DirectoryRepository` — the backend repository specialised to
+  the classic one-directory-per-document filesystem layout
+  (byte-identical with stores written before the protocol existed).
+
+A fourth, :class:`repro.versioning.sharded.ShardedRepository`, routes
+documents across many backend repositories by hash.
 
 Durability
 ----------
 The delta model exists so any version can be *reconstructed* — which is
-only worth something if the files survive crashes.  The directory
+only worth something if the stored bytes survive crashes.  The backend
 repository therefore commits with a write discipline:
 
-- every file is written atomically (:mod:`repro.storage.atomic`:
-  temp file + ``os.replace``; ``durability=`` adds ``fsync``);
+- every value is written atomically through the backend (the
+  filesystem backend uses :mod:`repro.storage.atomic`: temp file +
+  ``os.replace``; ``durability=`` adds ``fsync``);
 - SHA-256 checksums of the content files live in a per-document
   ``manifest.json``;
-- :meth:`DirectoryRepository.append` is **journaled**: a commit-intent
+- :meth:`BackendRepository.append` is **journaled**: a commit-intent
   record (``journal.json``) carrying the post-state checksums and the
-  new metadata is written *first* and removed *last*.  On reopen, a
-  leftover journal identifies a torn commit, which is rolled forward
-  (all content files landed — finish the metadata) or rolled back
-  (remove the half-commit; if ``current.xml`` itself was torn, replay
-  the delta chain from the nearest checkpoint to re-derive it)
-  deterministically.
+  new metadata is written *first* and removed *last*, inside a backend
+  ``batch()`` scope (a no-op on file-based backends; a native
+  transaction on SQLite).  On reopen, a leftover journal identifies a
+  torn commit, which is rolled forward (all content landed — finish
+  the metadata) or rolled back (remove the half-commit; if
+  ``current.xml`` itself was torn, replay the delta chain from the
+  nearest checkpoint to re-derive it) deterministically.
 
-:meth:`DirectoryRepository.verify` audits checksums and structure and
+:meth:`BackendRepository.verify` audits checksums and structure and
 returns findings; ``repro fsck`` (see :mod:`repro.versioning.fsck`)
 wraps it with repair.
 """
@@ -47,25 +57,21 @@ import json
 import os
 import re
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.delta import Delta
 from repro.core.deltaxml import delta_from_document, delta_to_document
 from repro.core.xid import XidAllocator
-from repro.storage.atomic import (
-    atomic_write,
-    atomic_write_json,
-    check_durability,
-    fault_aware_unlink,
-    is_temp_file,
-    sha256_bytes,
-    sha256_file,
-)
+from repro.storage.atomic import check_durability, sha256_bytes
+from repro.storage.backend import StorageBackend
+from repro.storage.filesystem import FilesystemBackend
 from repro.xmlkit.errors import RepositoryError, XmlParseError
 from repro.xmlkit.model import Document
-from repro.xmlkit.parser import parse_file
+from repro.xmlkit.parser import parse
 from repro.xmlkit.serializer import serialize_bytes
 
 __all__ = [
+    "BackendRepository",
     "CorruptStoreError",
     "DirectoryRepository",
     "Finding",
@@ -99,18 +105,23 @@ class CorruptStoreError(RepositoryError):
 
 @dataclass
 class Finding:
-    """One problem reported by :meth:`DirectoryRepository.verify`.
+    """One problem reported by :meth:`BackendRepository.verify`.
 
     Attributes:
-        doc_id: Document the finding belongs to (directory name when the
-            metadata naming it is itself unreadable).
+        doc_id: Document the finding belongs to (storage prefix when
+            the metadata naming it is itself unreadable).
         kind: Machine-readable category (``torn-commit``,
             ``corrupt-meta``, ``missing-manifest``, ``missing-checksum``,
             ``missing-file``, ``checksum-mismatch``, ``orphan-temp``,
             ``unexpected-file``, ``incomplete-document``).
-        path: Offending file or directory.
+        path: Offending file, key location or directory.
         message: Human-readable description.
         repairable: Whether ``fsck --repair`` has a deterministic fix.
+        scheme: Backend scheme the finding came from (``file``,
+            ``sqlite``, ``blob``).
+        shard: Shard index when the store is a
+            :class:`~repro.versioning.sharded.ShardedRepository`.
+        key: Backend key (or orphan reference) the repair acts on.
     """
 
     doc_id: str
@@ -118,16 +129,19 @@ class Finding:
     path: str
     message: str
     repairable: bool = False
+    scheme: str = ""
+    shard: Optional[int] = None
+    key: str = ""
 
 
 @dataclass
 class RecoveryEvent:
-    """One torn commit handled while opening a directory repository.
+    """One torn commit handled while opening a backend repository.
 
     ``action`` is ``rolled-forward``, ``rolled-back``,
     ``rolled-back-replay``, ``removed-invalid-journal`` or
     ``unrecoverable`` (the journal is left in place and
-    :meth:`DirectoryRepository.verify` keeps reporting it).
+    :meth:`BackendRepository.verify` keeps reporting it).
     """
 
     doc_dir: str
@@ -147,6 +161,15 @@ class Repository:
 
     def document_ids(self) -> list[str]:
         raise NotImplementedError
+
+    def document_count(self) -> int:
+        """Number of document slots in the store.
+
+        Unlike ``len(document_ids())`` this also counts half-created
+        documents (a prefix without readable metadata), which is what
+        ``fsck`` reports.
+        """
+        return len(self.document_ids())
 
     def current_version(self, doc_id: str) -> int:
         """Highest stored version number (versions start at 1)."""
@@ -202,6 +225,9 @@ class Repository:
     def snapshot_versions(self, doc_id: str) -> list[int]:
         """Versions with a stored snapshot (ascending, possibly empty)."""
         return []
+
+    def close(self) -> None:
+        """Release backing resources; idempotent."""
 
     def _check_exists(self, doc_id: str) -> None:
         if not self.exists(doc_id):
@@ -274,8 +300,12 @@ class MemoryRepository(Repository):
         )
 
 
-class DirectoryRepository(Repository):
-    """Filesystem-backed repository (one subdirectory per document).
+class BackendRepository(Repository):
+    """Repository persisted through a :class:`StorageBackend`.
+
+    Every document maps to a key prefix (its sanitised id); the keys
+    under it are the same names the classic directory layout used, so
+    the protocol is one level of indirection, not a new format.
 
     ``load_current`` keeps a small per-document cache of the parsed
     current snapshot, keyed by version number, so the commit loop
@@ -284,117 +314,140 @@ class DirectoryRepository(Repository):
     forward* (a private copy of the document they just wrote) rather
     than dropping it — in the commit loop the next ``load_current`` is
     always for the version just appended, so invalidation would
-    guarantee a miss on the very access the cache exists for.  The disk
-    stays the source of truth: ``meta.json`` is re-read on every load
-    and the cache entry only counts while the *entire* metadata (version,
-    XID labels, ID attributes) still matches it; an out-of-band edit to
-    ``current.xml`` under an unchanged metadata file is the one change
-    the cache cannot see.
+    guarantee a miss on the very access the cache exists for.  The
+    backend stays the source of truth: ``meta.json`` is re-read on
+    every load and the cache entry only counts while the *entire*
+    metadata (version, XID labels, ID attributes) still matches it; an
+    out-of-band edit to ``current.xml`` under an unchanged metadata
+    record is the one change the cache cannot see.
 
     Opening the repository scans for leftover commit journals and
     recovers them (see the module docstring); what happened is recorded
     in :attr:`recovery_events`.
 
     Args:
-        base_path: Root directory of the store (created if missing).
-        tracer: Optional :class:`repro.obs.trace.Tracer`; the disk-bound
-            operations become ``repo.load-current`` (with a
-            ``cache_hit`` attribute) and ``repo.append`` spans, nesting
-            under whatever span the caller has open (a version store's
-            ``store.commit``).
-        durability: ``"none"`` (default), ``"fsync"`` or ``"full"`` —
-            how hard every write pushes toward stable storage (see
-            :mod:`repro.storage.atomic`).
-        faults: Optional :class:`repro.testing.faults.FaultInjector`
-            threaded through every write (crash-matrix testing).
+        backend: The storage backend holding the bytes.
+        tracer: Optional :class:`repro.obs.trace.Tracer`; the
+            storage-bound operations become ``repo.load-current`` (with
+            a ``cache_hit`` attribute) and ``repo.append`` spans,
+            nesting under whatever span the caller has open (a version
+            store's ``store.commit``).
     """
 
-    def __init__(self, base_path, tracer=None, *, durability="none", faults=None):
-        self.base_path = os.fspath(base_path)
-        os.makedirs(self.base_path, exist_ok=True)
+    def __init__(self, backend: StorageBackend, tracer=None):
+        self.backend = backend
         self.tracer = tracer
-        self.durability = check_durability(durability)
-        self.faults = faults
         self._current_cache: dict[str, tuple[dict, Document]] = {}
         #: Torn commits handled while opening the store.
         self.recovery_events: list[RecoveryEvent] = []
         self.recover()
 
-    # -- paths ---------------------------------------------------------------
+    # The write policy and the fault injector live on the backend; the
+    # properties keep ``repo.durability`` / ``repo.faults = ...`` (the
+    # crash matrix arms an injector mid-test) working across backends.
+    @property
+    def durability(self) -> str:
+        return self.backend.durability
 
-    def _doc_dir(self, doc_id: str) -> str:
-        safe = re.sub(r"[^A-Za-z0-9._-]", "_", doc_id)
-        return os.path.join(self.base_path, safe)
+    @durability.setter
+    def durability(self, value: str) -> None:
+        self.backend.durability = check_durability(value)
 
-    def _meta_path(self, doc_id: str) -> str:
-        return os.path.join(self._doc_dir(doc_id), META_NAME)
+    @property
+    def faults(self):
+        return self.backend.faults
 
-    def _current_path(self, doc_id: str) -> str:
-        return os.path.join(self._doc_dir(doc_id), CURRENT_NAME)
+    @faults.setter
+    def faults(self, value) -> None:
+        self.backend.faults = value
 
-    def _manifest_path(self, doc_id: str) -> str:
-        return os.path.join(self._doc_dir(doc_id), MANIFEST_NAME)
+    def close(self) -> None:
+        self.backend.close()
 
-    def _journal_path(self, doc_id: str) -> str:
-        return os.path.join(self._doc_dir(doc_id), JOURNAL_NAME)
+    # -- keys ----------------------------------------------------------------
+
+    def _doc_key(self, doc_id: str) -> str:
+        return re.sub(r"[^A-Za-z0-9._-]", "_", doc_id)
+
+    def _meta_key(self, doc_id: str) -> str:
+        return self._doc_key(doc_id) + "/" + META_NAME
+
+    def _current_key(self, doc_id: str) -> str:
+        return self._doc_key(doc_id) + "/" + CURRENT_NAME
+
+    def _manifest_key(self, doc_id: str) -> str:
+        return self._doc_key(doc_id) + "/" + MANIFEST_NAME
+
+    def _journal_key(self, doc_id: str) -> str:
+        return self._doc_key(doc_id) + "/" + JOURNAL_NAME
 
     def _delta_name(self, base_version: int) -> str:
         return f"delta-{base_version:04d}-{base_version + 1:04d}.xml"
 
-    def _delta_path(self, doc_id: str, base_version: int) -> str:
-        return os.path.join(
-            self._doc_dir(doc_id), self._delta_name(base_version)
+    def _delta_key(self, doc_id: str, base_version: int) -> str:
+        return self._doc_key(doc_id) + "/" + self._delta_name(base_version)
+
+    def _doc_prefixes(self) -> list[str]:
+        return sorted(
+            {
+                key.split("/", 1)[0]
+                for key in self.backend.list_keys()
+                if "/" in key
+            }
         )
 
-    # -- metadata / manifest files -------------------------------------------
-
     @staticmethod
-    def _read_json(path: str, what: str) -> dict:
+    def _orphan_prefix(ref: str) -> Optional[str]:
+        """Document prefix an orphan reference belongs to (None = global)."""
+        parts = ref.split("/")
+        if parts[0] == "refs" and len(parts) > 2:
+            return parts[1]
+        if parts[0] == "objects":
+            return None
+        return parts[0] if len(parts) > 1 else None
+
+    # -- metadata / manifest records -----------------------------------------
+
+    def _read_json(self, key: str, what: str) -> dict:
+        location = self.backend.location(key)
+        data = self.backend.get(key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except json.JSONDecodeError as exc:
+            return json.loads(data.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise CorruptStoreError(
-                f"corrupt {what} at {path}: {exc}", path=path
+                f"corrupt {what} at {location}: {exc}", path=location
             ) from exc
 
     def _load_meta(self, doc_id: str) -> dict:
         try:
-            return self._read_json(self._meta_path(doc_id), "metadata")
+            return self._read_json(self._meta_key(doc_id), "metadata")
         except FileNotFoundError as exc:
             raise RepositoryError(f"unknown document {doc_id!r}") from exc
 
     def _store_meta(self, doc_id: str, meta: dict) -> None:
-        atomic_write_json(
-            self._meta_path(doc_id),
-            meta,
-            durability=self.durability,
-            faults=self.faults,
-            label="meta",
-        )
+        self.backend.put_json(self._meta_key(doc_id), meta, label="meta")
 
     def _load_manifest(self, doc_id: str) -> dict:
         try:
-            return self._read_json(self._manifest_path(doc_id), "manifest")
+            return self._read_json(self._manifest_key(doc_id), "manifest")
         except FileNotFoundError:
-            # Stores written before manifests existed keep working;
-            # fsck --repair backfills the file.
+            # Only a *missing* manifest falls back — stores written
+            # before manifests existed keep working and fsck --repair
+            # backfills the record.  An unreadable manifest raises
+            # CorruptStoreError instead (with .path): silently
+            # regenerating would launder damaged checksums into
+            # trusted ones.
             return {"algorithm": "sha256", "files": {}}
 
     def _store_manifest(self, doc_id: str, manifest: dict) -> None:
-        atomic_write_json(
-            self._manifest_path(doc_id),
-            manifest,
-            durability=self.durability,
-            faults=self.faults,
-            label="manifest",
+        self.backend.put_json(
+            self._manifest_key(doc_id), manifest, label="manifest"
         )
 
-    # -- Repository interface ---------------------------------------------------
+    # -- Repository interface ------------------------------------------------
 
     def create(self, doc_id: str, document: Document, allocator: XidAllocator):
-        directory = self._doc_dir(doc_id)
-        if os.path.exists(self._meta_path(doc_id)):
+        if self.backend.exists(self._meta_key(doc_id)):
             raise RepositoryError(f"document {doc_id!r} already exists")
         meta = {
             "doc_id": doc_id,
@@ -405,34 +458,36 @@ class DirectoryRepository(Repository):
             ),
             "xid_labels": _collect_xids(document),
         }
-        os.makedirs(directory, exist_ok=True)
-        digest = atomic_write(
-            self._current_path(doc_id),
-            serialize_bytes(document),
-            durability=self.durability,
-            faults=self.faults,
-            label="current",
-        )
-        self._store_manifest(
-            doc_id, {"algorithm": "sha256", "files": {CURRENT_NAME: digest}}
-        )
-        # meta.json lands last: its appearance is what makes the
-        # document exist.  A crash before this point leaves an
-        # incomplete directory that the next create() overwrites and
-        # fsck flags.
-        self._store_meta(doc_id, meta)
+        with self.backend.batch():
+            digest = self.backend.put(
+                self._current_key(doc_id),
+                serialize_bytes(document),
+                label="current",
+            )
+            self._store_manifest(
+                doc_id,
+                {"algorithm": "sha256", "files": {CURRENT_NAME: digest}},
+            )
+            # meta.json lands last: its appearance is what makes the
+            # document exist.  A crash before this point leaves an
+            # incomplete prefix that the next create() overwrites and
+            # fsck flags.
+            self._store_meta(doc_id, meta)
         self._current_cache[doc_id] = (meta, document.clone())
 
     def exists(self, doc_id: str) -> bool:
-        return os.path.exists(self._meta_path(doc_id))
+        return self.backend.exists(self._meta_key(doc_id))
 
     def document_ids(self) -> list[str]:
         ids = []
-        for entry in sorted(os.listdir(self.base_path)):
-            meta_path = os.path.join(self.base_path, entry, META_NAME)
-            if os.path.exists(meta_path):
-                ids.append(self._read_json(meta_path, "metadata")["doc_id"])
-        return ids
+        for prefix in self._doc_prefixes():
+            meta_key = prefix + "/" + META_NAME
+            if self.backend.exists(meta_key):
+                ids.append(str(self._read_json(meta_key, "metadata")["doc_id"]))
+        return sorted(ids)
+
+    def document_count(self) -> int:
+        return len(self._doc_prefixes())
 
     def current_version(self, doc_id: str) -> int:
         return int(self._load_meta(doc_id)["current_version"])
@@ -450,8 +505,11 @@ class DirectoryRepository(Repository):
                     cached is not None and cached[0] == meta
                 )
             if cached is None or cached[0] != meta:
-                document = parse_file(
-                    self._current_path(doc_id), strip_whitespace=False
+                key = self._current_key(doc_id)
+                document = parse(
+                    self.backend.get(key),
+                    strip_whitespace=False,
+                    origin=self.backend.location(key),
                 )
                 document.id_attributes = {
                     tuple(pair) for pair in meta.get("id_attributes", [])
@@ -469,18 +527,23 @@ class DirectoryRepository(Repository):
 
     def load_delta(self, doc_id: str, base_version: int) -> Delta:
         self._check_exists(doc_id)
-        path = self._delta_path(doc_id, base_version)
-        if not os.path.exists(path):
+        key = self._delta_key(doc_id, base_version)
+        if not self.backend.exists(key):
             raise RepositoryError(
                 f"no delta {base_version}->{base_version + 1} for {doc_id!r}"
             )
+        location = self.backend.location(key)
         try:
             return delta_from_document(
-                parse_file(path, strip_whitespace=False)
+                parse(
+                    self.backend.get(key),
+                    strip_whitespace=False,
+                    origin=location,
+                )
             )
         except XmlParseError as exc:
             raise CorruptStoreError(
-                f"corrupt delta file {path}: {exc}", path=path
+                f"corrupt delta file {location}: {exc}", path=location
             ) from exc
 
     def append(self, doc_id, delta, new_document, allocator):
@@ -523,98 +586,87 @@ class DirectoryRepository(Repository):
             }
             # Commit protocol: intent first, content next, metadata
             # after the content it describes, journal removal last.
-            # Every prefix of this sequence is recoverable.
-            atomic_write_json(
-                self._journal_path(doc_id),
-                journal,
-                durability=self.durability,
-                faults=self.faults,
-                label="journal",
-            )
-            atomic_write(
-                self._delta_path(doc_id, version),
-                delta_bytes,
-                durability=self.durability,
-                faults=self.faults,
-                label="delta",
-            )
-            atomic_write(
-                self._current_path(doc_id),
-                current_bytes,
-                durability=self.durability,
-                faults=self.faults,
-                label="current",
-            )
-            self._store_manifest(doc_id, new_manifest)
-            self._store_meta(doc_id, new_meta)
-            fault_aware_unlink(
-                self._journal_path(doc_id),
-                faults=self.faults,
-                label="journal-clear",
-            )
+            # Every prefix of this sequence is recoverable.  The batch
+            # scope lets a transactional backend make the whole
+            # sequence atomic on top of that.
+            with self.backend.batch():
+                self.backend.put_json(
+                    self._journal_key(doc_id), journal, label="journal"
+                )
+                self.backend.put(
+                    self._delta_key(doc_id, version),
+                    delta_bytes,
+                    label="delta",
+                )
+                self.backend.put(
+                    self._current_key(doc_id),
+                    current_bytes,
+                    label="current",
+                )
+                self._store_manifest(doc_id, new_manifest)
+                self._store_meta(doc_id, new_meta)
+                self.backend.delete(
+                    self._journal_key(doc_id), label="journal-clear"
+                )
             self._current_cache[doc_id] = (new_meta, new_document.clone())
         finally:
             if span is not None:
                 self.tracer.end_span(span)
 
-    # -- crash recovery ---------------------------------------------------------
+    # -- crash recovery ------------------------------------------------------
 
     def recover(self) -> list[RecoveryEvent]:
         """Detect and resolve torn commits (runs automatically on open).
 
         Returns the events appended to :attr:`recovery_events` by this
         scan.  Safe to call repeatedly; a healthy store is a no-op.
+        Recovery I/O is never fault-injected — it models the fresh
+        process that reopens the store after the crash.
         """
         events: list[RecoveryEvent] = []
-        for entry in sorted(os.listdir(self.base_path)):
-            doc_dir = os.path.join(self.base_path, entry)
-            if os.path.exists(os.path.join(doc_dir, JOURNAL_NAME)):
-                events.append(self._recover_doc(doc_dir))
+        saved_faults = self.backend.faults
+        self.backend.faults = None
+        try:
+            for key in self.backend.list_keys():
+                if key.endswith("/" + JOURNAL_NAME):
+                    events.append(self._recover_doc(key.rsplit("/", 1)[0]))
+        finally:
+            self.backend.faults = saved_faults
         self.recovery_events.extend(events)
         return events
 
-    def _recover_doc(self, doc_dir: str) -> RecoveryEvent:
-        journal_path = os.path.join(doc_dir, JOURNAL_NAME)
+    def _recover_doc(self, prefix: str) -> RecoveryEvent:
+        backend = self.backend
+        doc_ref = backend.location(prefix)
+        journal_key = prefix + "/" + JOURNAL_NAME
         try:
-            journal = self._read_json(journal_path, "journal")
+            journal = self._read_json(journal_key, "journal")
         except (CorruptStoreError, OSError):
             # The journal is written atomically *before* any content
-            # file, so an unreadable journal means the tear hit the
+            # key, so an unreadable journal means the tear hit the
             # journal itself and nothing else changed: discard it.
-            fault_aware_unlink(journal_path)
-            return RecoveryEvent(doc_dir, "removed-invalid-journal")
+            backend.delete(journal_key)
+            return RecoveryEvent(doc_ref, "removed-invalid-journal")
         post = journal.get("post", {})
         pre = journal.get("pre", {})
         delta_name = journal.get("delta_file", "")
-        delta_path = os.path.join(doc_dir, delta_name)
-        current_path = os.path.join(doc_dir, CURRENT_NAME)
-        delta_ok = (
-            bool(delta_name)
-            and os.path.exists(delta_path)
-            and sha256_file(delta_path) == post.get(delta_name)
-        )
-        current_digest = (
-            sha256_file(current_path)
-            if os.path.exists(current_path)
-            else None
-        )
+        delta_key = prefix + "/" + delta_name
+        current_key = prefix + "/" + CURRENT_NAME
+        delta_ok = bool(delta_name) and _digest_or_none(
+            backend, delta_key
+        ) == post.get(delta_name)
+        current_digest = _digest_or_none(backend, current_key)
         if delta_ok and current_digest == post.get(CURRENT_NAME):
             # All content landed — the crash hit the metadata writes or
             # the journal removal.  Roll forward from the journal's
             # embedded copies.
-            atomic_write_json(
-                os.path.join(doc_dir, MANIFEST_NAME),
-                journal["manifest"],
-                durability=self.durability,
+            backend.put_json(
+                prefix + "/" + MANIFEST_NAME, journal["manifest"]
             )
-            atomic_write_json(
-                os.path.join(doc_dir, META_NAME),
-                journal["meta"],
-                durability=self.durability,
-            )
-            fault_aware_unlink(journal_path)
+            backend.put_json(prefix + "/" + META_NAME, journal["meta"])
+            backend.delete(journal_key)
             return RecoveryEvent(
-                doc_dir,
+                doc_ref,
                 "rolled-forward",
                 f"to version {journal.get('target_version')}",
             )
@@ -623,10 +675,10 @@ class DirectoryRepository(Repository):
             # current.xml is still the pre-commit content (or a legacy
             # store never recorded its hash — trust the write order:
             # delta precedes current, and the delta did not land).
-            fault_aware_unlink(delta_path)
-            fault_aware_unlink(journal_path)
+            backend.delete(delta_key)
+            backend.delete(journal_key)
             return RecoveryEvent(
-                doc_dir,
+                doc_ref,
                 "rolled-back",
                 f"to version {journal.get('base_version')}",
             )
@@ -634,36 +686,37 @@ class DirectoryRepository(Repository):
         # the pre-commit content by replaying the delta chain from the
         # nearest checkpoint — the recovery mechanism completed deltas
         # make possible.
-        meta_path = os.path.join(doc_dir, META_NAME)
         try:
-            meta = self._read_json(meta_path, "metadata")
+            meta = self._read_json(prefix + "/" + META_NAME, "metadata")
             base_version = int(journal.get("base_version", 0))
-            replayed = _replay_from_snapshot(doc_dir, meta, base_version)
+            replayed = _replay_from_snapshot(
+                backend, prefix, meta, base_version
+            )
         except (CorruptStoreError, RepositoryError, OSError):
             replayed = None
         if replayed is None:
             return RecoveryEvent(
-                doc_dir,
+                doc_ref,
                 "unrecoverable",
                 "current.xml torn and no checkpoint to replay from",
             )
         restored = serialize_bytes(replayed)
         if pre_current is not None and sha256_bytes(restored) != pre_current:
             return RecoveryEvent(
-                doc_dir,
+                doc_ref,
                 "unrecoverable",
                 "replayed content does not match the recorded checksum",
             )
-        atomic_write(current_path, restored, durability=self.durability)
-        fault_aware_unlink(delta_path)
-        fault_aware_unlink(journal_path)
+        backend.put(current_key, restored)
+        backend.delete(delta_key)
+        backend.delete(journal_key)
         return RecoveryEvent(
-            doc_dir,
+            doc_ref,
             "rolled-back-replay",
             f"current.xml re-derived for version {journal.get('base_version')}",
         )
 
-    # -- verification -----------------------------------------------------------
+    # -- verification --------------------------------------------------------
 
     def verify(self, doc_id: str | None = None) -> list[Finding]:
         """Audit checksums and structure; returns findings (empty = clean).
@@ -671,130 +724,173 @@ class DirectoryRepository(Repository):
         Verification never mutates the store; pair it with
         :func:`repro.versioning.fsck.fsck_store` for repair.
         """
+        orphan_map: dict[Optional[str], list[str]] = {}
+        for ref in self.backend.orphans():
+            orphan_map.setdefault(self._orphan_prefix(ref), []).append(ref)
         if doc_id is not None:
-            doc_dir = self._doc_dir(doc_id)
-            if not os.path.isdir(doc_dir):
+            prefix = self._doc_key(doc_id)
+            scoped = orphan_map.get(prefix, [])
+            if not scoped and not self.backend.list_keys(prefix + "/"):
                 raise RepositoryError(f"unknown document {doc_id!r}")
-            return self._verify_dir(doc_dir)
+            return self._verify_prefix(prefix, scoped)
         findings: list[Finding] = []
-        for entry in sorted(os.listdir(self.base_path)):
-            doc_dir = os.path.join(self.base_path, entry)
-            if os.path.isdir(doc_dir):
-                findings.extend(self._verify_dir(doc_dir))
+        for prefix in self._doc_prefixes():
+            findings.extend(
+                self._verify_prefix(prefix, orphan_map.pop(prefix, []))
+            )
+        # Garbage not attributable to a live document (temp files in
+        # removed prefixes, unreferenced blob objects).
+        for prefix, refs in sorted(
+            orphan_map.items(), key=lambda item: item[0] or ""
+        ):
+            for ref in refs:
+                findings.append(self._orphan_finding(prefix or "-", ref))
         return findings
 
-    def _verify_dir(self, doc_dir: str) -> list[Finding]:
-        entry = os.path.basename(doc_dir)
+    def _orphan_finding(self, doc_label: str, ref: str) -> Finding:
+        return Finding(
+            doc_label,
+            "orphan-temp",
+            self.backend.location(ref),
+            "leftover atomic-write temp file"
+            if not ref.startswith("objects/")
+            else "unreferenced content object",
+            repairable=True,
+            scheme=self.backend.scheme,
+            key=ref,
+        )
+
+    def _verify_prefix(
+        self, prefix: str, orphan_refs: list[str]
+    ) -> list[Finding]:
+        backend = self.backend
+        scheme = backend.scheme
         findings: list[Finding] = []
-        names = sorted(os.listdir(doc_dir)) if os.path.isdir(doc_dir) else []
-        for name in names:
-            if is_temp_file(name):
-                findings.append(
-                    Finding(
-                        entry,
-                        "orphan-temp",
-                        os.path.join(doc_dir, name),
-                        "leftover atomic-write temp file",
-                        repairable=True,
-                    )
-                )
-        meta_path = os.path.join(doc_dir, META_NAME)
-        if not os.path.exists(meta_path):
+        for ref in orphan_refs:
+            findings.append(self._orphan_finding(prefix, ref))
+        keys = backend.list_keys(prefix + "/")
+        names = sorted(
+            key[len(prefix) + 1 :]
+            for key in keys
+            if "/" not in key[len(prefix) + 1 :]
+        )
+        meta_key = prefix + "/" + META_NAME
+        if META_NAME not in names:
             findings.append(
                 Finding(
-                    entry,
+                    prefix,
                     "incomplete-document",
-                    doc_dir,
-                    "document directory has no meta.json "
+                    backend.location(prefix),
+                    "document prefix has no meta.json "
                     "(crash before first commit)",
                     repairable=True,
+                    scheme=scheme,
+                    key=prefix,
                 )
             )
             return findings
         try:
-            meta = self._read_json(meta_path, "metadata")
+            meta = self._read_json(meta_key, "metadata")
         except CorruptStoreError as exc:
             findings.append(
-                Finding(entry, "corrupt-meta", meta_path, str(exc))
+                Finding(
+                    prefix,
+                    "corrupt-meta",
+                    backend.location(meta_key),
+                    str(exc),
+                    scheme=scheme,
+                    key=meta_key,
+                )
             )
             return findings
-        doc_label = str(meta.get("doc_id", entry))
-        if os.path.exists(os.path.join(doc_dir, JOURNAL_NAME)):
+        doc_label = str(meta.get("doc_id", prefix))
+        if JOURNAL_NAME in names:
             findings.append(
                 Finding(
                     doc_label,
                     "torn-commit",
-                    os.path.join(doc_dir, JOURNAL_NAME),
+                    backend.location(prefix + "/" + JOURNAL_NAME),
                     "unresolved commit journal "
                     "(recovery could not roll it back or forward)",
+                    scheme=scheme,
+                    key=prefix + "/" + JOURNAL_NAME,
                 )
             )
-        manifest_path = os.path.join(doc_dir, MANIFEST_NAME)
+        manifest_key = prefix + "/" + MANIFEST_NAME
         manifest_files: dict = {}
-        if not os.path.exists(manifest_path):
+        if MANIFEST_NAME not in names:
             findings.append(
                 Finding(
                     doc_label,
                     "missing-manifest",
-                    manifest_path,
+                    backend.location(manifest_key),
                     "no checksum manifest (store predates manifests?)",
                     repairable=True,
+                    scheme=scheme,
+                    key=manifest_key,
                 )
             )
         else:
             try:
                 manifest_files = dict(
-                    self._read_json(manifest_path, "manifest").get(
-                        "files", {}
-                    )
+                    self._read_json(manifest_key, "manifest").get("files", {})
                 )
             except CorruptStoreError as exc:
                 findings.append(
                     Finding(
                         doc_label,
                         "missing-manifest",
-                        manifest_path,
+                        backend.location(manifest_key),
                         str(exc),
                         repairable=True,
+                        scheme=scheme,
+                        key=manifest_key,
                     )
                 )
         current_version = int(meta.get("current_version", 1))
         for name, digest in sorted(manifest_files.items()):
-            path = os.path.join(doc_dir, name)
+            key = prefix + "/" + name
             rederivable = name == CURRENT_NAME or bool(
                 _SNAPSHOT_FILE_RE.match(name)
             )
-            if not os.path.exists(path):
+            stored = _digest_or_none(backend, key)
+            if stored is None:
                 findings.append(
                     Finding(
                         doc_label,
                         "missing-file",
-                        path,
+                        backend.location(key),
                         f"{name} is listed in the manifest but missing",
                         repairable=rederivable,
+                        scheme=scheme,
+                        key=key,
                     )
                 )
-            elif sha256_file(path) != digest:
+            elif stored != digest:
                 findings.append(
                     Finding(
                         doc_label,
                         "checksum-mismatch",
-                        path,
+                        backend.location(key),
                         f"{name} does not match its recorded SHA-256",
                         repairable=rederivable,
+                        scheme=scheme,
+                        key=key,
                     )
                 )
         for base in range(1, current_version):
             name = self._delta_name(base)
-            path = os.path.join(doc_dir, name)
-            if not os.path.exists(path):
+            key = prefix + "/" + name
+            if name not in names:
                 if name not in manifest_files:
                     findings.append(
                         Finding(
                             doc_label,
                             "missing-file",
-                            path,
+                            backend.location(key),
                             f"delta {base}->{base + 1} is missing",
+                            scheme=scheme,
+                            key=key,
                         )
                     )
             elif manifest_files and name not in manifest_files:
@@ -802,16 +898,16 @@ class DirectoryRepository(Repository):
                     Finding(
                         doc_label,
                         "missing-checksum",
-                        path,
+                        backend.location(key),
                         f"{name} has no recorded checksum",
                         repairable=True,
+                        scheme=scheme,
+                        key=key,
                     )
                 )
-        snapshot_versions = {
-            int(v) for v in meta.get("snapshots", {})
-        }
+        snapshot_versions = {int(v) for v in meta.get("snapshots", {})}
         for name in names:
-            path = os.path.join(doc_dir, name)
+            key = prefix + "/" + name
             delta_match = _DELTA_FILE_RE.match(name)
             snapshot_match = _SNAPSHOT_FILE_RE.match(name)
             if delta_match and not (
@@ -821,9 +917,11 @@ class DirectoryRepository(Repository):
                     Finding(
                         doc_label,
                         "unexpected-file",
-                        path,
+                        backend.location(key),
                         f"{name} is outside the committed version range",
                         repairable=True,
+                        scheme=scheme,
+                        key=key,
                     )
                 )
             elif snapshot_match and int(
@@ -833,45 +931,47 @@ class DirectoryRepository(Repository):
                     Finding(
                         doc_label,
                         "unexpected-file",
-                        path,
+                        backend.location(key),
                         f"{name} is not referenced by the metadata",
                         repairable=True,
+                        scheme=scheme,
+                        key=key,
                     )
                 )
         return findings
 
-    # -- snapshot checkpoints ---------------------------------------------------
+    # -- snapshot checkpoints ------------------------------------------------
 
-    def _snapshot_path(self, doc_id: str, version: int) -> str:
-        return os.path.join(
-            self._doc_dir(doc_id), f"snapshot-{version:04d}.xml"
-        )
+    def _snapshot_key(self, doc_id: str, version: int) -> str:
+        return self._doc_key(doc_id) + f"/snapshot-{version:04d}.xml"
 
     def store_snapshot(self, doc_id, version, document):
         meta = self._load_meta(doc_id)
-        digest = atomic_write(
-            self._snapshot_path(doc_id, version),
-            serialize_bytes(document),
-            durability=self.durability,
-            faults=self.faults,
-            label="snapshot",
-        )
-        manifest = self._load_manifest(doc_id)
-        manifest.setdefault("files", {})[
-            f"snapshot-{version:04d}.xml"
-        ] = digest
-        self._store_manifest(doc_id, manifest)
-        snapshots = meta.setdefault("snapshots", {})
-        snapshots[str(version)] = _collect_xids(document)
-        self._store_meta(doc_id, meta)
+        with self.backend.batch():
+            digest = self.backend.put(
+                self._snapshot_key(doc_id, version),
+                serialize_bytes(document),
+                label="snapshot",
+            )
+            manifest = self._load_manifest(doc_id)
+            manifest.setdefault("files", {})[
+                f"snapshot-{version:04d}.xml"
+            ] = digest
+            self._store_manifest(doc_id, manifest)
+            snapshots = meta.setdefault("snapshots", {})
+            snapshots[str(version)] = _collect_xids(document)
+            self._store_meta(doc_id, meta)
 
     def load_snapshot(self, doc_id, version):
         meta = self._load_meta(doc_id)
         labels = meta.get("snapshots", {}).get(str(version))
         if labels is None:
             return None
-        document = parse_file(
-            self._snapshot_path(doc_id, version), strip_whitespace=False
+        key = self._snapshot_key(doc_id, version)
+        document = parse(
+            self.backend.get(key),
+            strip_whitespace=False,
+            origin=self.backend.location(key),
         )
         document.id_attributes = {
             tuple(pair) for pair in meta.get("id_attributes", [])
@@ -884,12 +984,49 @@ class DirectoryRepository(Repository):
         return sorted(int(v) for v in meta.get("snapshots", {}))
 
 
-def _replay_from_snapshot(doc_dir: str, meta: dict, target_version: int):
+class DirectoryRepository(BackendRepository):
+    """Filesystem-backed repository (one subdirectory per document).
+
+    A :class:`BackendRepository` over a
+    :class:`~repro.storage.filesystem.FilesystemBackend` — the classic,
+    byte-identical on-disk layout every pre-protocol store used.
+
+    Args:
+        base_path: Root directory of the store (created if missing).
+        tracer: See :class:`BackendRepository`.
+        durability: ``"none"`` (default), ``"fsync"`` or ``"full"`` —
+            how hard every write pushes toward stable storage (see
+            :mod:`repro.storage.atomic`).
+        faults: Optional :class:`repro.testing.faults.FaultInjector`
+            threaded through every write (crash-matrix testing).
+    """
+
+    def __init__(self, base_path, tracer=None, *, durability="none", faults=None):
+        backend = FilesystemBackend(
+            base_path, durability=durability, faults=faults
+        )
+        self.base_path = backend.root
+        super().__init__(backend, tracer=tracer)
+
+    def _doc_dir(self, doc_id: str) -> str:
+        return os.path.join(self.base_path, self._doc_key(doc_id))
+
+
+def _digest_or_none(backend: StorageBackend, key: str) -> Optional[str]:
+    try:
+        return backend.digest(key)
+    except FileNotFoundError:
+        return None
+
+
+def _replay_from_snapshot(
+    backend: StorageBackend, prefix: str, meta: dict, target_version: int
+):
     """Re-derive ``target_version`` from the nearest checkpoint at or below.
 
     Returns the reconstructed :class:`Document` (with XIDs restored), or
     ``None`` when no checkpoint bounds the walk.  Raises
-    :class:`CorruptStoreError` when a file needed for the replay is
+    :class:`CorruptStoreError` when a value needed for the replay is
     itself unreadable.
     """
     from repro.core.apply import apply_delta
@@ -903,33 +1040,40 @@ def _replay_from_snapshot(doc_dir: str, meta: dict, target_version: int):
     if not candidates:
         return None
     start = max(candidates)
-    snapshot_path = os.path.join(doc_dir, f"snapshot-{start:04d}.xml")
+    snapshot_key = prefix + f"/snapshot-{start:04d}.xml"
     try:
-        document = parse_file(snapshot_path, strip_whitespace=False)
+        document = parse(
+            backend.get(snapshot_key),
+            strip_whitespace=False,
+            origin=backend.location(snapshot_key),
+        )
     except FileNotFoundError:
         return None
     except XmlParseError as exc:
+        location = backend.location(snapshot_key)
         raise CorruptStoreError(
-            f"corrupt snapshot file {snapshot_path}: {exc}",
-            path=snapshot_path,
+            f"corrupt snapshot file {location}: {exc}", path=location
         ) from exc
     document.id_attributes = {
         tuple(pair) for pair in meta.get("id_attributes", [])
     }
     _restore_xids(document, {"xid_labels": snapshots[str(start)]})
     for base in range(start, target_version):
-        delta_path = os.path.join(
-            doc_dir, f"delta-{base:04d}-{base + 1:04d}.xml"
-        )
+        delta_key = prefix + f"/delta-{base:04d}-{base + 1:04d}.xml"
         try:
             delta = delta_from_document(
-                parse_file(delta_path, strip_whitespace=False)
+                parse(
+                    backend.get(delta_key),
+                    strip_whitespace=False,
+                    origin=backend.location(delta_key),
+                )
             )
         except FileNotFoundError:
             return None
         except XmlParseError as exc:
+            location = backend.location(delta_key)
             raise CorruptStoreError(
-                f"corrupt delta file {delta_path}: {exc}", path=delta_path
+                f"corrupt delta file {location}: {exc}", path=location
             ) from exc
         document = apply_delta(delta, document, in_place=True)
     return document

@@ -152,18 +152,18 @@ class TestCommitLoopRegression:
         store.create("doc", base)
 
         parses = []
-        original = repository_module.parse_file
+        original = repository_module.parse
 
-        def counting_parse(path, **kwargs):
-            parses.append(path)
-            return original(path, **kwargs)
+        def counting_parse(source, **kwargs):
+            parses.append(kwargs.get("origin") or "")
+            return original(source, **kwargs)
 
-        repository_module.parse_file = counting_parse
+        repository_module.parse = counting_parse
         try:
             for version in versions:
                 store.commit("doc", version)
         finally:
-            repository_module.parse_file = original
+            repository_module.parse = original
         assert not [p for p in parses if str(p).endswith("current.xml")]
 
     def test_readonly_load_shares_the_cached_instance(self, tmp_path):

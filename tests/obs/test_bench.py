@@ -25,7 +25,7 @@ from repro.obs.bench import (
 )
 
 ALL_EXPERIMENTS = ["FIG4", "FIG5", "FIG6", "SITE", "COMP", "QUAL", "ABL",
-                   "STORE"]
+                   "STORE", "SHARD"]
 
 
 class TestRegistry:
@@ -283,7 +283,8 @@ class TestFileRoundTrip:
             _toy_experiment(counts)
         )
         path = write_result(payload, out_dir=str(tmp_path))
-        text = open(path).read().replace('"repro.bench/1"', '"other/9"')
+        with open(path) as handle:
+            text = handle.read().replace('"repro.bench/1"', '"other/9"')
         with open(path, "w") as handle:
             handle.write(text)
         with pytest.raises(ValueError, match="not a valid bench payload"):

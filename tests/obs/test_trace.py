@@ -54,9 +54,15 @@ class TestSpanNesting:
         assert 0 < inner.duration <= outer.duration
 
     def test_cpu_time_recorded(self):
+        import time
+
         tracer = Tracer()
         with tracer.span("busy"):
-            sum(range(100000))
+            # spin until the process_time clock has visibly advanced —
+            # a fixed workload can finish within one clock tick.
+            start = time.process_time()
+            while time.process_time() == start:
+                sum(range(100000))
         assert tracer.roots[0].cpu_time > 0
 
     def test_end_span_out_of_order_raises(self):

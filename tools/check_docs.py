@@ -12,6 +12,10 @@ Three classes of drift, all fatal:
    exist somewhere in the real argparse tree, and every subcommand of
    the real parser — including nested ones such as ``obs render`` —
    must have a section in docs/cli.md.
+4. **Phantom store schemes** — every ``scheme://`` store-URL example in
+   the docs and README must use a scheme the storage layer actually
+   registers (``file``, ``sqlite``, ``blob``, ``shard``); web schemes
+   (``http(s)``, ``mailto``) are exempt.
 
 Usage: ``python tools/check_docs.py`` (from anywhere; exits 1 on drift).
 """
@@ -32,6 +36,9 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+(?![\w/])")
 FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z0-9-]*")
 HEADING_RE = re.compile(r"^##+\s+(.+?)\s*$", re.MULTILINE)
+SCHEME_RE = re.compile(r"\b([a-z][a-z0-9+.-]*)://")
+#: URL schemes that are links, not store addresses.
+WEB_SCHEMES = {"http", "https", "mailto"}
 
 LINK_FILES = ["README.md", "EXPERIMENTS.md"]
 REFERENCE_FILES = ["README.md"]  # + docs/*.md, added in main()
@@ -135,6 +142,20 @@ def check_cli_docs(docs_dir: pathlib.Path, problems: list[str]) -> None:
         problems.append(f"docs/cli.md: subcommand {command!r} undocumented")
 
 
+def check_store_schemes(path: pathlib.Path, text: str, problems: list[str]) -> None:
+    """Every ``scheme://`` example must name a registered store scheme."""
+    from repro.storage import STORE_SCHEMES
+
+    known = set(STORE_SCHEMES) | {"shard"}
+    for scheme in sorted(set(SCHEME_RE.findall(text))):
+        if scheme in WEB_SCHEMES or scheme in known:
+            continue
+        problems.append(
+            f"{_rel(path)}: store URL scheme {scheme!r} is not "
+            f"registered (expected one of {sorted(known)})"
+        )
+
+
 def main() -> int:
     problems: list[str] = []
     docs_dir = ROOT / "docs"
@@ -150,7 +171,9 @@ def main() -> int:
     reference_files = [ROOT / name for name in REFERENCE_FILES]
     reference_files += sorted(docs_dir.glob("*.md"))
     for path in reference_files:
-        check_module_refs(path, path.read_text(), problems)
+        text = path.read_text()
+        check_module_refs(path, text, problems)
+        check_store_schemes(path, text, problems)
 
     check_cli_docs(docs_dir, problems)
 
