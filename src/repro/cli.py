@@ -24,6 +24,9 @@ Subcommands mirror the library's main capabilities:
 - ``bench``             — run the registered benchmark experiments
   (``BENCH_*.json``), or ``bench --compare`` two result files
   (see ``docs/benchmarks.md``).
+- ``serve``             — run the HTTP diff service (``docs/server.md``):
+  one-shot diff/explain/audit plus commit/read endpoints over named
+  version stores, with bounded-queue load shedding.
 
 Malformed XML input exits with status 2 and a one-line
 ``error: <file>:<line>:<column>: <message>`` diagnostic on stderr.
@@ -730,6 +733,52 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.server import DiffServer, ServerConfig
+
+    stores: dict[str, str] = {}
+    for spec in args.repo or []:
+        name, separator, url = spec.partition("=")
+        if not separator or not name or not url:
+            print(f"error: --repo takes NAME=STORE_URL, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        if name in stores:
+            print(f"error: store {name!r} configured twice", file=sys.stderr)
+            return 2
+        stores[name] = url
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        stores=stores,
+        engine=args.engine,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        batch_max=args.batch_max,
+        retry_after=args.retry_after,
+        trace_sample=args.trace_sample,
+        trace_dir=args.trace_dir,
+        durability=args.durability,
+    )
+
+    async def _run() -> None:
+        server = DiffServer(config)
+        host, port = await server.start()
+        print(f"serving on http://{host}:{port} "
+              f"(stores: {sorted(stores) or 'none'}; "
+              f"workers={config.workers} queue_limit={config.queue_limit})",
+              file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="xydiff",
@@ -1031,7 +1080,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "experiments", nargs="*", metavar="EXPERIMENT",
         help="experiment ids (FIG4 FIG5 FIG6 SITE COMP QUAL ABL STORE "
-             "SHARD); default: all",
+             "SHARD SERVE); default: all",
     )
     sub.add_argument("--fast", action="store_true",
                      help="reduced workload sizes (the CI perf-smoke tier)")
@@ -1059,6 +1108,44 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("-o", "--output", default="-",
                      help="comparison report destination (default stdout)")
     sub.set_defaults(func=_cmd_bench)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="run the HTTP diff service (see docs/server.md)",
+    )
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=8080,
+                     help="bind port; 0 picks an ephemeral port "
+                          "(default 8080)")
+    sub.add_argument("--repo", action="append", metavar="NAME=STORE_URL",
+                     help="expose a version store as /repos/NAME/... "
+                          "(repeatable; STORE_URL as for the store "
+                          "command)")
+    sub.add_argument("--workers", type=int, default=2,
+                     help="CPU worker threads for diffs and commits "
+                          "(default 2)")
+    sub.add_argument("--queue-limit", type=int, default=64,
+                     help="jobs allowed to wait before requests are shed "
+                          "with 429 (default 64)")
+    sub.add_argument("--batch-max", type=int, default=8,
+                     help="max queued jobs executed per worker batch "
+                          "(default 8)")
+    sub.add_argument("--retry-after", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="Retry-After value sent with 429/503 "
+                          "(default 1)")
+    sub.add_argument("--trace-sample", type=int, default=0, metavar="N",
+                     help="trace every Nth pooled request and echo the "
+                          "span id in X-Repro-Span-Id (default 0: off)")
+    sub.add_argument("--trace-dir", default=None, metavar="DIR",
+                     help="write sampled span trees here as JSON lines "
+                          "(one file per sampled request)")
+    sub.add_argument("--durability", choices=DURABILITY_LEVELS,
+                     default="none",
+                     help="write policy for store commits (default: none)")
+    add_engine(sub)
+    sub.set_defaults(func=_cmd_serve)
 
     sub = subparsers.add_parser("generate", help="generate a synthetic doc")
     sub.add_argument("--kind", choices=("generic", "catalog"),

@@ -46,6 +46,7 @@ __all__ = ["EXPERIMENT_ORDER"]
 #: Canonical run/report order (matches DESIGN.md and the README table).
 EXPERIMENT_ORDER = (
     "FIG4", "FIG5", "FIG6", "SITE", "COMP", "QUAL", "ABL", "STORE", "SHARD",
+    "SERVE",
 )
 
 #: Wider stage-latency bounds for snapshot-scale workloads — the default
@@ -949,6 +950,179 @@ register_experiment(
             "store closes clean",
             "docs_per_second is informational (timing-derived, not "
             "gated as quality)",
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# SERVE — HTTP service throughput + latency percentiles under load
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=None)
+def _serve_corpus(pairs: int):
+    """``pairs`` serialized (old, new) document pairs for /diff bodies."""
+    bodies = []
+    for index in range(pairs):
+        base = generate_document(
+            GeneratorConfig(target_nodes=120, seed=301 + index)
+        )
+        changed = simulate_changes(
+            base, SimulatorConfig(0.08, 0.12, 0.08, 0.05, seed=401 + index)
+        ).new_document
+        bodies.append((serialize(base), serialize(changed)))
+    return tuple(bodies)
+
+
+def _percentile(samples, fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _serve_cases(fast: bool) -> list[BenchCase]:
+    import http.client
+    import json
+    import threading
+    import time
+
+    configurations = (
+        # (case name, client threads, requests per client, commit share)
+        ("diff-c2", 2, 15 if fast else 150, 0),
+        ("mixed-c4", 4, 10 if fast else 100, 4),
+    )
+    pairs = 8
+
+    cases = []
+    for name, clients, per_client, commit_every in configurations:
+        def run(prepared, obs, clients=clients, per_client=per_client,
+                commit_every=commit_every):
+            from repro.server import ServerConfig, serve_in_thread
+
+            bodies = prepared
+            with tempfile.TemporaryDirectory() as tmp:
+                handle = serve_in_thread(
+                    ServerConfig(
+                        port=0,
+                        stores={"bench": f"sqlite://{tmp}/bench.db"},
+                        workers=2,
+                        queue_limit=256,
+                        batch_max=8,
+                    )
+                )
+                latencies: list[list[float]] = [[] for _ in range(clients)]
+                errors = [0] * clients
+
+                def client(worker: int) -> None:
+                    connection = http.client.HTTPConnection(
+                        handle.host, handle.port, timeout=60
+                    )
+                    for request_index in range(per_client):
+                        old_xml, new_xml = bodies[
+                            (worker + request_index) % len(bodies)
+                        ]
+                        if commit_every and request_index % commit_every == 0:
+                            path = "/repos/bench/commit"
+                            payload = {
+                                "doc_id": f"doc-{worker}",
+                                "document": new_xml
+                                if request_index % (2 * commit_every)
+                                else old_xml,
+                            }
+                        else:
+                            path = "/diff"
+                            payload = {"old": old_xml, "new": new_xml}
+                        body = json.dumps(payload).encode("utf-8")
+                        started = time.perf_counter()
+                        connection.request(
+                            "POST", path, body=body,
+                            headers={"Content-Type": "application/json"},
+                        )
+                        response = connection.getresponse()
+                        response.read()
+                        latencies[worker].append(
+                            time.perf_counter() - started
+                        )
+                        if response.status not in (200, 201):
+                            errors[worker] += 1
+                    connection.close()
+
+                threads = [
+                    threading.Thread(target=client, args=(worker,))
+                    for worker in range(clients)
+                ]
+                started = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - started
+                handle.close()
+            flat = [sample for per in latencies for sample in per]
+            total = clients * per_client
+            return {
+                # Gated: the served workload must stay error-free.
+                "http_errors": sum(errors),
+                "lost_responses": total - len(flat),
+                # Informational (timing-derived, varies with hardware).
+                "requests": total,
+                "requests_per_second": round(total / elapsed, 1),
+                "p50_ms": round(_percentile(flat, 0.50) * 1e3, 2),
+                "p95_ms": round(_percentile(flat, 0.95) * 1e3, 2),
+            }
+
+        cases.append(
+            BenchCase(
+                name=name,
+                setup=lambda: _serve_corpus(pairs),
+                prepare=lambda state: state,
+                run=run,
+                params={
+                    "clients": clients,
+                    "requests_per_client": per_client,
+                    "commit_every": commit_every,
+                    "corpus_pairs": pairs,
+                    "workers": 2,
+                },
+                gated_quality=("http_errors", "lost_responses"),
+            )
+        )
+    return cases
+
+
+def _serve_summary(cases: list[dict]) -> dict:
+    summary = {
+        "clean_cases": sum(
+            1 for case in cases if case["quality"]["http_errors"] == 0
+        )
+    }
+    for case in cases:
+        summary[f"p95_ms_{case['name']}"] = case["quality"]["p95_ms"]
+        summary[f"rps_{case['name']}"] = case["quality"][
+            "requests_per_second"
+        ]
+    return summary
+
+
+register_experiment(
+    Experiment(
+        id="SERVE",
+        title="HTTP diff service under concurrent load (xydiff serve)",
+        cases=_serve_cases,
+        summarize=_serve_summary,
+        notes=(
+            "each case boots a DiffServer on an ephemeral port and "
+            "drives it with keep-alive client threads: diff-c2 is pure "
+            "POST /diff, mixed-c4 interleaves commits into a sqlite:// "
+            "store behind /repos/bench",
+            "wall median gates end-to-end throughput; http_errors and "
+            "lost_responses gate correctness (every request must get a "
+            "2xx answer)",
+            "requests_per_second and the latency percentiles are "
+            "informational (timing-derived, not gated as quality)",
         ),
     )
 )

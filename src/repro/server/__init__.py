@@ -1,0 +1,34 @@
+"""Diff-as-a-service: asyncio HTTP layer over the diff/versioning core.
+
+Public pieces:
+
+- :class:`DiffServer` / :class:`ServerConfig` — the server and its
+  knobs (``xydiff serve`` is a thin wrapper);
+- :data:`ROUTES` / :func:`route_table` — the declared API surface,
+  which ``tools/check_docs.py`` diffs against ``docs/server.md``;
+- :func:`serve_in_thread` — run a server on a background thread for
+  tests and the SERVE benchmark.
+
+See ``docs/server.md`` for the wire-level reference.
+"""
+
+from repro.server.app import (
+    DiffServer,
+    ServerConfig,
+    ServerHandle,
+    serve_in_thread,
+)
+from repro.server.pool import PoolSaturated, WorkerPool
+from repro.server.routes import ROUTES, match_route, route_table
+
+__all__ = [
+    "DiffServer",
+    "PoolSaturated",
+    "ROUTES",
+    "ServerConfig",
+    "ServerHandle",
+    "WorkerPool",
+    "match_route",
+    "route_table",
+    "serve_in_thread",
+]

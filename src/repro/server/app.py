@@ -1,0 +1,480 @@
+"""Diff-as-a-service: the asyncio HTTP server.
+
+The paper positions XyDiff inside the Xyleme warehouse, detecting
+changes on documents that arrive over the wire; :class:`DiffServer` is
+that front door for this reproduction.  One asyncio event loop accepts
+connections and parses requests; all CPU-bound work (XML parsing,
+BULD matching, store commits) runs on the bounded, batching
+:class:`~repro.server.pool.WorkerPool`, so the loop stays responsive
+and overload turns into explicit ``429 Retry-After`` load shedding
+instead of unbounded queueing.  See ``docs/server.md`` for the wire
+reference and the capacity model.
+
+The server composes only existing layers:
+
+- version stores are addressed by the same store URLs as the CLI
+  (``file://``, ``sqlite://``, ``blob://``, ``shard://``) through
+  :func:`repro.versioning.sharded.open_repository` — a store name in
+  the request path (``/repos/{store}/...``) maps to a configured URL;
+- ``/metrics`` serves the existing Prometheus exporter
+  (:class:`~repro.obs.metrics.MetricsRegistry`);
+- per-request trace sampling reuses the existing
+  :class:`~repro.obs.trace.Tracer`: every Nth request runs with a
+  tracer threaded through the engine, its root span id is echoed in
+  the ``X-Repro-Span-Id`` response header, and the span tree is
+  written to ``trace_dir`` when one is configured.
+
+Graceful shutdown (SIGTERM/SIGINT via :meth:`DiffServer.serve_forever`,
+or :meth:`DiffServer.shutdown`) stops accepting connections, answers
+late requests on kept-alive connections with 503, drains the pool —
+accepted work is never dropped — and closes every store.  A commit
+interrupted *ungracefully* (process kill) is covered one layer down by
+the journaled-commit protocol: reopening the store rolls it forward or
+back deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.server.http import (
+    DEFAULT_MAX_BODY,
+    HttpError,
+    Request,
+    Response,
+    read_request,
+)
+from repro.server.pool import PoolSaturated, WorkerPool
+from repro.server.routes import ROUTES, RequestObs, match_route
+from repro.xmlkit.errors import (
+    DeltaError,
+    ReproError,
+    RepositoryError,
+    XmlParseError,
+)
+
+__all__ = ["DiffServer", "ServerConfig", "ServerHandle", "serve_in_thread"]
+
+#: Request-latency buckets: an HTTP API lives between 1 ms and 10 s.
+REQUEST_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0,
+)
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``xydiff serve`` exposes as flags.
+
+    Attributes:
+        host / port: Bind address; port 0 picks an ephemeral port
+            (read the real one off :meth:`DiffServer.start`).
+        stores: ``name -> store URL`` map backing ``/repos/{name}/...``.
+        engine: Default diff engine for ``/diff`` (per-request
+            ``engine`` overrides).
+        workers: Worker threads for CPU-bound jobs.
+        queue_limit: Jobs allowed to wait before load shedding starts.
+        batch_max: Max jobs per executor batch.
+        retry_after: Seconds advertised in 429 ``Retry-After``.
+        trace_sample: Trace every Nth request (0 disables sampling).
+        trace_dir: Directory for sampled span trees (JSON lines, one
+            file per sampled request); ``None`` keeps them in memory
+            only long enough to echo the span id.
+        max_body_bytes: Request body cap (413 beyond it).
+        durability: Write policy handed to every store backend.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    stores: dict[str, str] = field(default_factory=dict)
+    engine: str = "buld"
+    workers: int = 2
+    queue_limit: int = 64
+    batch_max: int = 8
+    retry_after: float = 1.0
+    trace_sample: int = 0
+    trace_dir: Optional[str] = None
+    max_body_bytes: int = DEFAULT_MAX_BODY
+    durability: str = "none"
+
+
+class DiffServer:
+    """The HTTP server; see the module docstring for the design.
+
+    Args:
+        config: A :class:`ServerConfig`.
+        metrics: Optional shared registry (defaults to a fresh one) —
+            the same instance is served by ``/metrics``.
+        faults: Optional :class:`repro.testing.faults.FaultInjector`
+            threaded into every store backend *and* the worker pool
+            (label-targeted, like the storage crash matrix).
+    """
+
+    def __init__(self, config: ServerConfig, metrics=None, faults=None):
+        from repro.engine import available_engines
+        from repro.obs.metrics import MetricsRegistry
+
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.faults = faults
+        self.available_engines = available_engines()
+        if config.engine not in self.available_engines:
+            raise ReproError(
+                f"unknown default engine {config.engine!r}; "
+                f"choose from {self.available_engines}"
+            )
+        self.pool = WorkerPool(
+            workers=config.workers,
+            queue_limit=config.queue_limit,
+            batch_max=config.batch_max,
+            metrics=self.metrics,
+            fault_hook=faults,
+        )
+        self.draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stores: dict[str, tuple] = {}
+        self._stores_guard = threading.Lock()
+        self._request_index = 0
+        self._requests_total = self.metrics.counter(
+            "repro_server_requests_total",
+            help="HTTP requests served, by route/method/status.",
+        )
+        self._request_seconds = self.metrics.histogram(
+            "repro_server_request_seconds",
+            help="HTTP request latency (accept-to-response), by route.",
+            buckets=REQUEST_BUCKETS,
+        )
+        self._sampled_total = self.metrics.counter(
+            "repro_server_traced_requests_total",
+            help="Requests that ran with a sampled tracer.",
+        )
+
+    # -- store resolution ----------------------------------------------------
+
+    def store_entry(self, name: str):
+        """``(VersionStore, threading.Lock)`` for a configured store name.
+
+        Stores open lazily on first use and stay open for the server's
+        lifetime; an unknown name is a 404 (the client addressed a
+        repo the operator never configured).
+        """
+        url = self.config.stores.get(name)
+        if url is None:
+            raise HttpError(
+                404,
+                f"unknown store {name!r}; configured: "
+                f"{sorted(self.config.stores) or 'none'}",
+            )
+        with self._stores_guard:
+            entry = self._stores.get(name)
+            if entry is None:
+                from repro.versioning.sharded import open_repository
+                from repro.versioning.version_control import VersionStore
+
+                repository = open_repository(
+                    url,
+                    durability=self.config.durability,
+                    faults=self.faults,
+                )
+                store = VersionStore(
+                    repository=repository, metrics=self.metrics
+                )
+                entry = (store, threading.Lock())
+                self._stores[name] = entry
+        return entry
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the actual ``(host, port)``."""
+        await self.pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        """Run until SIGTERM/SIGINT, then drain and shut down."""
+        import signal
+
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix event loops
+        await stop.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: no new connections, drain the pool, close
+        stores."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+        await self.pool.drain()
+        await self.pool.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        with self._stores_guard:
+            for store, _ in self._stores.values():
+                store.repository.close()
+            self._stores.clear()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.config.max_body_bytes
+                    )
+                except HttpError as error:
+                    response = Response.error(
+                        error.status, "protocol-error", error.message
+                    )
+                    writer.write(response.to_bytes(keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self.dispatch(request)
+                keep_alive = request.keep_alive and not self.draining
+                writer.write(response.to_bytes(keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away — nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def dispatch(self, request: Request) -> Response:
+        """Route one request and map every failure mode to a status."""
+        route, params, path_known = match_route(
+            ROUTES, request.method, request.path
+        )
+        name = route.name if route is not None else "unmatched"
+        started = time.perf_counter()
+        try:
+            if route is None:
+                if path_known:
+                    raise HttpError(
+                        405, f"{request.method} is not supported here"
+                    )
+                raise HttpError(404, f"no route for {request.path!r}")
+            if self.draining:
+                raise HttpError(503, "server is shutting down")
+            obs = self._sample(route, request)
+            try:
+                response = await route.handler(self, request, params, obs)
+            finally:
+                self._finish_sample(obs)
+            if obs.span is not None:
+                response.headers.setdefault(
+                    "X-Repro-Span-Id", str(obs.span.span_id)
+                )
+        except HttpError as error:
+            response = self._http_error_response(error)
+        except PoolSaturated as error:
+            response = Response.error(
+                429,
+                "overloaded",
+                f"{error}; retry after "
+                f"{self.config.retry_after:g} seconds",
+                headers={"Retry-After": f"{self.config.retry_after:g}"},
+            )
+        except XmlParseError as error:
+            response = Response.error(
+                422, "malformed-xml", error.location()
+            )
+        except (RepositoryError, DeltaError) as error:
+            # Unknown documents and versions surface here ("doc has
+            # versions 1..N"); the store itself existing is checked
+            # before the job is queued.
+            response = Response.error(404, "not-found", str(error))
+        except ReproError as error:
+            response = Response.error(400, "bad-request", str(error))
+        except Exception as error:  # noqa: BLE001 — last-resort 500
+            response = Response.error(
+                500, "internal-error", f"{type(error).__name__}: {error}"
+            )
+        elapsed = time.perf_counter() - started
+        self._requests_total.inc(
+            route=name, method=request.method, status=str(response.status)
+        )
+        self._request_seconds.observe(elapsed, route=name)
+        return response
+
+    def _http_error_response(self, error: HttpError) -> Response:
+        headers = {}
+        if error.status == 503:
+            headers["Retry-After"] = f"{self.config.retry_after:g}"
+        code = {
+            404: "not-found",
+            405: "method-not-allowed",
+            429: "overloaded",
+            503: "draining",
+        }.get(error.status, "bad-request")
+        return Response.error(
+            error.status, code, error.message, headers=headers
+        )
+
+    # -- pooled execution ----------------------------------------------------
+
+    async def run_job(self, fn, label: str = "job"):
+        """Submit ``fn`` to the pool and await its result.
+
+        :class:`PoolSaturated` propagates to :meth:`dispatch`, which
+        turns it into the 429 + ``Retry-After`` load-shedding reply.
+        """
+        if self.draining:
+            raise HttpError(503, "server is shutting down")
+        return await self.pool.submit(fn, label=label)
+
+    # -- trace sampling ------------------------------------------------------
+
+    def _sample(self, route, request: Request) -> RequestObs:
+        """Give every Nth request a Tracer with an open root span."""
+        self._request_index += 1
+        sample = self.config.trace_sample
+        if not route.pooled or sample <= 0:
+            return RequestObs()
+        if self._request_index % sample != 0:
+            return RequestObs()
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        span = tracer.start_span(
+            f"server.{route.name}",
+            method=request.method,
+            path=request.path,
+            request_index=self._request_index,
+        )
+        self._sampled_total.inc(route=route.name)
+        return RequestObs(tracer=tracer, span=span)
+
+    def _finish_sample(self, obs: RequestObs) -> None:
+        if obs.tracer is None or obs.span is None:
+            return
+        obs.tracer.end_span(obs.span)
+        if self.config.trace_dir:
+            os.makedirs(self.config.trace_dir, exist_ok=True)
+            path = os.path.join(
+                self.config.trace_dir,
+                f"request-{obs.span.span_id}-{self._request_index}.jsonl",
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                obs.tracer.write_jsonl(handle)
+
+
+# ---------------------------------------------------------------------------
+# embedding helper: run a server on a background thread (tests, bench)
+# ---------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A running server on its own thread + event loop.
+
+    Produced by :func:`serve_in_thread`; gives tests and the SERVE
+    benchmark a real TCP endpoint without subprocess management.
+    """
+
+    def __init__(self, server: DiffServer, loop, thread, host, port):
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+        self.host = host
+        self.port = port
+
+    def url(self, path: str = "/") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def run_coroutine(self, coroutine):
+        """Run a coroutine on the server loop; returns its result."""
+        future = asyncio.run_coroutine_threadsafe(coroutine, self.loop)
+        return future.result(timeout=60)
+
+    def submit_job(self, fn, label: str = "job"):
+        """Enqueue a raw pool job from any thread (test hook).
+
+        Returns a :class:`concurrent.futures.Future` mirroring the
+        pool-side result.
+        """
+
+        async def _submit():
+            return self.server.pool.submit(fn, label=label)
+
+        asyncio_future = self.run_coroutine(_submit())
+        import concurrent.futures
+
+        mirror: concurrent.futures.Future = concurrent.futures.Future()
+
+        def _copy(done):
+            if done.cancelled():
+                mirror.cancel()
+            elif done.exception() is not None:
+                mirror.set_exception(done.exception())
+            else:
+                mirror.set_result(done.result())
+
+        self.loop.call_soon_threadsafe(
+            asyncio_future.add_done_callback, _copy
+        )
+        return mirror
+
+    def close(self) -> None:
+        """Graceful shutdown (drains the pool), then join the thread."""
+        if self.thread.is_alive():
+            self.run_coroutine(self.server.shutdown())
+            self.loop.call_soon_threadsafe(self._stop_event.set)
+            self.thread.join(timeout=30)
+
+
+def serve_in_thread(
+    config: ServerConfig, metrics=None, faults=None
+) -> ServerHandle:
+    """Start a :class:`DiffServer` on a daemon thread; returns when the
+    socket is bound."""
+    ready: "queue.Queue" = __import__("queue").Queue()
+
+    def _main():
+        asyncio.run(_serve())
+
+    async def _serve():
+        try:
+            server = DiffServer(config, metrics=metrics, faults=faults)
+            host, port = await server.start()
+        except BaseException as error:  # surface bind errors to caller
+            ready.put(error)
+            return
+        stop_event = asyncio.Event()
+        ready.put((server, asyncio.get_event_loop(), host, port, stop_event))
+        await stop_event.wait()
+
+    thread = threading.Thread(
+        target=_main, name="repro-server", daemon=True
+    )
+    thread.start()
+    outcome = ready.get(timeout=30)
+    if isinstance(outcome, BaseException):
+        thread.join(timeout=5)
+        raise outcome
+    server, loop, host, port, stop_event = outcome
+    handle = ServerHandle(server, loop, thread, host, port)
+    handle._stop_event = stop_event
+    return handle

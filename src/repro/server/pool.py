@@ -1,0 +1,261 @@
+"""Bounded, batching worker pool: CPU-bound diffs off the event loop.
+
+The HTTP layer (:mod:`repro.server.app`) is a single asyncio event
+loop; a BULD diff over a large document is pure-Python CPU work that
+would stall every other connection if it ran inline.  The
+:class:`WorkerPool` moves that work onto a small
+:class:`~concurrent.futures.ThreadPoolExecutor` behind a **bounded**
+queue, which gives the server its two production behaviours:
+
+- **Backpressure.**  :meth:`WorkerPool.submit` never blocks and never
+  buffers without limit: when ``queue_limit`` jobs are already waiting
+  it raises :class:`PoolSaturated` and the HTTP layer sheds the request
+  with ``429 Retry-After`` instead of letting latency (and memory) grow
+  unboundedly.  Accepted jobs are never dropped — drain keeps running
+  them even while new work is being rejected.
+- **Batching.**  Each worker coroutine drains up to ``batch_max``
+  queued jobs in one go and ships the whole batch to the executor as a
+  single call, amortizing the per-job executor/future round trip when
+  the queue is deep (the request-batching knob from ROADMAP item 1).
+  Under light load batches degrade to size 1 — no added latency.
+
+Jobs are plain callables executed on a worker thread; their result (or
+exception) resolves an :class:`asyncio.Future` on the event loop.  The
+pool publishes its state to a
+:class:`~repro.obs.metrics.MetricsRegistry` (queue depth gauge, batch
+size histogram, executed/rejected counters) and exposes a *fault hook*
+— a :class:`repro.testing.faults.FaultInjector` ``on_job`` point fired
+before every job body — so the test suite can crash or EIO a pooled
+job deterministically, exactly like the storage write points.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+
+from repro.xmlkit.errors import ReproError
+
+__all__ = ["PoolSaturated", "WorkerPool"]
+
+#: Batch-size histogram bounds: powers of two up to a full deep queue.
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class PoolSaturated(ReproError):
+    """The job queue is full — the caller must shed load (HTTP 429)."""
+
+
+class _Job:
+    __slots__ = ("fn", "future", "label")
+
+    def __init__(self, fn: Callable[[], object], future, label: str):
+        self.fn = fn
+        self.future = future
+        self.label = label
+
+
+class WorkerPool:
+    """Bounded queue + batching executor for CPU-bound request work.
+
+    Args:
+        workers: Executor threads *and* worker coroutines (each
+            coroutine keeps at most one batch in flight, so this bounds
+            executor occupancy too).
+        queue_limit: Jobs allowed to *wait*; the ``workers`` batches in
+            flight are not counted.  ``submit`` beyond this raises
+            :class:`PoolSaturated`.
+        batch_max: Upper bound on jobs shipped to the executor per
+            batch.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            see module docstring for the published series.
+        fault_hook: Optional object with an ``on_job(label)`` method
+            (:class:`repro.testing.faults.FaultInjector` fits), called
+            on the worker thread immediately before each job body.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_limit: int = 64,
+        batch_max: int = 8,
+        metrics=None,
+        fault_hook=None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.batch_max = batch_max
+        self.fault_hook = fault_hook
+        self._queue: Optional[asyncio.Queue] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._tasks: list[asyncio.Task] = []
+        self._accepting = False
+        self._inflight = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._depth_gauge = None
+        self._batch_hist = None
+        self._executed_total = None
+        self._rejected_total = None
+        if metrics is not None:
+            self._depth_gauge = metrics.gauge(
+                "repro_server_queue_depth",
+                help="Jobs waiting in the server worker-pool queue.",
+            )
+            self._batch_hist = metrics.histogram(
+                "repro_server_pool_batch_size",
+                help="Jobs executed per worker-pool batch.",
+                buckets=BATCH_BUCKETS,
+            )
+            self._executed_total = metrics.counter(
+                "repro_server_jobs_total",
+                help="Worker-pool jobs executed, by outcome.",
+            )
+            self._rejected_total = metrics.counter(
+                "repro_server_rejected_total",
+                help="Jobs rejected because the queue was full.",
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create the queue, the executor and the worker coroutines."""
+        if self._queue is not None:
+            raise RuntimeError("pool already started")
+        self._queue = asyncio.Queue()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-server-worker",
+        )
+        self._accepting = True
+        self._tasks = [
+            asyncio.ensure_future(self._worker())
+            for _ in range(self.workers)
+        ]
+
+    async def drain(self) -> None:
+        """Stop accepting, then wait for every accepted job to finish.
+
+        Queued and in-flight jobs all run to completion — graceful
+        shutdown loses no accepted work.
+        """
+        self._accepting = False
+        if self._queue is None:
+            return
+        await self._idle.wait()
+
+    async def close(self) -> None:
+        """Drain, then tear the workers and the executor down."""
+        await self.drain()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._queue = None
+
+    # -- submission ----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting (excludes in-flight batches)."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    def submit(
+        self, fn: Callable[[], object], label: str = "job"
+    ) -> asyncio.Future:
+        """Enqueue ``fn``; resolve the returned future with its result.
+
+        Raises:
+            PoolSaturated: ``queue_limit`` jobs are already waiting.
+            RuntimeError: the pool is not started or is draining.
+        """
+        if self._queue is None or not self._accepting:
+            raise RuntimeError("pool is not accepting jobs")
+        if self._queue.qsize() >= self.queue_limit:
+            if self._rejected_total is not None:
+                self._rejected_total.inc(label=label)
+            raise PoolSaturated(
+                f"worker-pool queue is full "
+                f"({self.queue_limit} jobs waiting)"
+            )
+        future = asyncio.get_event_loop().create_future()
+        self._queue.put_nowait(_Job(fn, future, label))
+        self._idle.clear()
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(self._queue.qsize())
+        return future
+
+    # -- workers -------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            job = await self._queue.get()
+            batch = [job]
+            while len(batch) < self.batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self._inflight += len(batch)
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(self._queue.qsize())
+            if self._batch_hist is not None:
+                self._batch_hist.observe(len(batch))
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._executor, self._run_batch, batch
+                )
+            except asyncio.CancelledError:
+                # close() cancels workers only after drain(), so there
+                # is no batch to abandon; re-raise to finish the task.
+                raise
+            for job, (ok, value) in zip(batch, outcomes):
+                # Counted here, on the loop, so the registry is only
+                # ever touched from one thread (it has no locking).
+                if self._executed_total is not None:
+                    self._executed_total.inc(
+                        outcome="ok" if ok else "error", label=job.label
+                    )
+                if job.future.cancelled():
+                    continue
+                if ok:
+                    job.future.set_result(value)
+                else:
+                    job.future.set_exception(value)
+            for _ in batch:
+                self._queue.task_done()
+            self._inflight -= len(batch)
+            if self._inflight == 0 and self._queue.empty():
+                self._idle.set()
+
+    def _run_batch(self, batch: list[_Job]) -> list[tuple[bool, object]]:
+        """Run every job of one batch on this worker thread."""
+        outcomes: list[tuple[bool, object]] = []
+        for job in batch:
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook.on_job(job.label)
+                outcomes.append((True, job.fn()))
+            except BaseException as error:  # resolves the caller's future
+                outcomes.append((False, error))
+        return outcomes

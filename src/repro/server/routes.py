@@ -1,0 +1,447 @@
+"""The public API surface: route table + endpoint handlers.
+
+Every endpoint is declared in :data:`ROUTES` — the single source of
+truth that ``docs/server.md``'s endpoint table is checked against by
+``tools/check_docs.py`` (the same drift-proofing idiom the CLI docs
+use).  Patterns use ``{name}`` placeholders matched one path segment
+at a time (segments are percent-decoded *after* splitting, so an
+encoded ``/`` inside a document id stays inside its segment).
+
+Handlers are ``async def handler(server, request, params, obs)``:
+
+- CPU-bound work (parsing XML, diffing, committing) is packaged as a
+  plain closure and pushed through the server's
+  :class:`~repro.server.pool.WorkerPool` — the event loop never blocks
+  on a diff, and a full queue surfaces as 429 upstream;
+- ``obs`` is the per-request :class:`RequestObs` carrying the sampled
+  tracer (or ``None``) so a handler can thread it into
+  ``diff_with_stats``/``VersionStore`` exactly like the CLI does.
+
+Domain errors map onto statuses in one place
+(:func:`repro.server.app.DiffServer.dispatch`): malformed XML → 422,
+unknown document/version → 404, bad request shape → 400, a saturated
+pool → 429.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+from urllib.parse import unquote
+
+from repro.server.http import HttpError, Request, Response
+
+__all__ = ["ROUTES", "Route", "RequestObs", "match_route", "route_table"]
+
+
+@dataclass
+class RequestObs:
+    """Per-request observability state handed to every handler."""
+
+    tracer: Optional[object] = None  # a Tracer when this request sampled
+    span: Optional[object] = None  # the open server.<route> root span
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    pattern: str  # e.g. "/repos/{store}/docs/{doc_id}/versions/{version}"
+    name: str  # span/metric label, e.g. "diff"
+    handler: Callable
+    pooled: bool  # True when the handler submits work to the pool
+
+    @property
+    def segments(self) -> tuple[str, ...]:
+        return tuple(part for part in self.pattern.split("/") if part)
+
+
+def match_route(
+    routes, method: str, path: str
+) -> tuple[Optional[Route], dict[str, str], bool]:
+    """``(route, params, path_known)`` for a method+path pair.
+
+    ``path_known`` distinguishes 405 (path exists, wrong method) from
+    404 (no route matches the path at all).
+    """
+    parts = [unquote(part) for part in path.split("/") if part]
+    path_known = False
+    for route in routes:
+        segments = route.segments
+        if len(segments) != len(parts):
+            continue
+        params: dict[str, str] = {}
+        for segment, part in zip(segments, parts):
+            if segment.startswith("{") and segment.endswith("}"):
+                params[segment[1:-1]] = part
+            elif segment != part:
+                break
+        else:
+            path_known = True
+            if route.method == method:
+                return route, params, True
+    return None, {}, path_known
+
+
+def route_table() -> list[tuple[str, str]]:
+    """``(method, pattern)`` pairs — what check_docs diffs the docs
+    against."""
+    return [(route.method, route.pattern) for route in ROUTES]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _require(payload: dict, key: str) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str) or not value:
+        raise HttpError(400, f"field {key!r} (a non-empty string) "
+                             "is required")
+    return value
+
+
+def _int_param(raw: str, name: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise HttpError(400, f"{name} must be an integer, got {raw!r}") \
+            from None
+
+
+def _parse_pair(payload: dict):
+    """Parse the old/new documents of a diff-shaped request body."""
+    from repro.xmlkit.parser import parse
+
+    old_text = _require(payload, "old")
+    new_text = _require(payload, "new")
+    keep = bool(payload.get("keep_whitespace", False))
+    old = parse(old_text, strip_whitespace=not keep, origin="request:old")
+    new = parse(new_text, strip_whitespace=not keep, origin="request:new")
+    return old, new
+
+
+# ---------------------------------------------------------------------------
+# one-shot endpoints
+# ---------------------------------------------------------------------------
+
+
+async def handle_diff(server, request: Request, params, obs) -> Response:
+    """POST /diff — one-shot diff of two documents sent in the body."""
+    payload = request.json()
+    engine = payload.get("engine", server.config.engine)
+    if engine not in server.available_engines:
+        raise HttpError(
+            400,
+            f"unknown engine {engine!r}; "
+            f"choose from {server.available_engines}",
+        )
+
+    def job():
+        from repro.core.deltaxml import delta_byte_size, serialize_delta
+        from repro.core.diff import diff_with_stats
+
+        old, new = _parse_pair(payload)
+        delta, stats = diff_with_stats(
+            old, new, engine=engine, tracer=obs.tracer
+        )
+        body = {
+            "delta": serialize_delta(delta),
+            "stats": {
+                "engine": stats.engine,
+                "old_nodes": stats.old_nodes,
+                "new_nodes": stats.new_nodes,
+                "matched_nodes": stats.matched_nodes,
+                "delta_bytes": delta_byte_size(delta),
+                "operations": dict(sorted(stats.operation_counts.items())),
+                "total_seconds": stats.total_seconds,
+            },
+        }
+        return body
+
+    result = await server.run_job(job, label="diff")
+    return Response.json(result)
+
+
+async def handle_explain(server, request: Request, params, obs) -> Response:
+    """POST /explain — the delta as an operations list, with optional
+    match-provenance ``because`` clauses (the PR-5 layer over HTTP)."""
+    payload = request.json()
+    why = bool(payload.get("why", False))
+
+    def job():
+        from repro.core.diff import diff, diff_with_stats
+        from repro.core.explain import operation_to_dict, sorted_operations
+
+        old, new = _parse_pair(payload)
+        report = None
+        if why:
+            from repro.obs.provenance import ProvenanceRecorder, build_report
+
+            recorder = ProvenanceRecorder()
+            delta, _ = diff_with_stats(
+                old, new, recorder=recorder, tracer=obs.tracer
+            )
+            report = build_report(recorder, old, new, delta)
+        else:
+            delta = diff(old, new)
+        operations = []
+        for operation in sorted_operations(delta):
+            entry = operation_to_dict(operation)
+            if report is not None:
+                entry["because"] = report.because(operation)
+            operations.append(entry)
+        return {"operations": operations}
+
+    result = await server.run_job(job, label="explain")
+    return Response.json(result)
+
+
+async def handle_audit(server, request: Request, params, obs) -> Response:
+    """POST /audit — diff with full provenance accounting and the
+    unmatched-weight gate (``ok`` mirrors the CLI's exit code)."""
+    payload = request.json()
+    max_unmatched = payload.get("max_unmatched", 0.5)
+    if not isinstance(max_unmatched, (int, float)):
+        raise HttpError(400, "max_unmatched must be a number")
+
+    def job():
+        from repro.core.diff import diff_with_stats
+        from repro.obs.provenance import ProvenanceRecorder, build_report
+
+        old, new = _parse_pair(payload)
+        recorder = ProvenanceRecorder()
+        delta, _ = diff_with_stats(
+            old, new, recorder=recorder, tracer=obs.tracer
+        )
+        report = build_report(recorder, old, new, delta)
+        body = report.to_dict(include_nodes=False)
+        body["ok"] = report.unmatched_weight_ratio <= max_unmatched
+        body["max_unmatched"] = max_unmatched
+        return body
+
+    result = await server.run_job(job, label="audit")
+    return Response.json(result)
+
+
+# ---------------------------------------------------------------------------
+# store-backed endpoints
+# ---------------------------------------------------------------------------
+
+
+async def handle_commit(server, request: Request, params, obs) -> Response:
+    """POST /repos/{store}/commit — diff-and-append into a version
+    store (creates the document, at version 1, when it is new)."""
+    payload = request.json()
+    doc_id = _require(payload, "doc_id")
+    document_text = _require(payload, "document")
+    store, lock = server.store_entry(params["store"])
+
+    def job():
+        from repro.xmlkit.parser import parse
+
+        document = parse(
+            document_text,
+            strip_whitespace=not payload.get("keep_whitespace", False),
+            origin=f"request:{doc_id}",
+        )
+        # One writer per store: commits serialize at the store door the
+        # way ShardedRepository serializes per shard.
+        with lock:
+            if store.repository.exists(doc_id):
+                delta = store.commit(doc_id, document)
+                return {
+                    "doc_id": doc_id,
+                    "version": store.current_version(doc_id),
+                    "created": False,
+                    "summary": dict(sorted(delta.summary().items())),
+                }
+            store.create(doc_id, document)
+            return {
+                "doc_id": doc_id,
+                "version": 1,
+                "created": True,
+                "summary": {},
+            }
+
+    result = await server.run_job(job, label="commit")
+    status = 201 if result["created"] else 200
+    return Response.json(result, status=status)
+
+
+async def handle_docs(server, request: Request, params, obs) -> Response:
+    """GET /repos/{store}/docs — every document with its current
+    version."""
+    store, lock = server.store_entry(params["store"])
+
+    def job():
+        with lock:
+            return {
+                "documents": [
+                    {
+                        "doc_id": doc_id,
+                        "version": store.current_version(doc_id),
+                    }
+                    for doc_id in store.document_ids()
+                ]
+            }
+
+    return Response.json(await server.run_job(job, label="read"))
+
+
+async def handle_doc(server, request: Request, params, obs) -> Response:
+    """GET /repos/{store}/docs/{doc_id} — the current version."""
+    return await _serve_version(server, params, version=None)
+
+
+async def handle_version(server, request: Request, params, obs) -> Response:
+    """GET /repos/{store}/docs/{doc_id}/versions/{version} — any stored
+    version, reconstructed by backward delta replay when needed."""
+    version = _int_param(params["version"], "version")
+    return await _serve_version(server, params, version=version)
+
+
+async def _serve_version(server, params, version: Optional[int]) -> Response:
+    from repro.xmlkit.serializer import serialize
+
+    store, lock = server.store_entry(params["store"])
+    doc_id = params["doc_id"]
+
+    def job():
+        with lock:
+            resolved = (
+                version
+                if version is not None
+                else store.current_version(doc_id)
+            )
+            document = store.get_version(doc_id, resolved)
+            return {
+                "doc_id": doc_id,
+                "version": resolved,
+                "xml": serialize(document),
+            }
+
+    return Response.json(await server.run_job(job, label="read"))
+
+
+async def handle_history(server, request: Request, params, obs) -> Response:
+    """GET /repos/{store}/docs/{doc_id}/history — the version list with
+    checkpoint markers."""
+    store, lock = server.store_entry(params["store"])
+    doc_id = params["doc_id"]
+
+    def job():
+        with lock:
+            current = store.current_version(doc_id)
+            checkpoints = set(store.repository.snapshot_versions(doc_id))
+            return {
+                "doc_id": doc_id,
+                "current": current,
+                "versions": [
+                    {
+                        "version": number,
+                        "checkpoint": number in checkpoints,
+                    }
+                    for number in range(1, current + 1)
+                ],
+            }
+
+    return Response.json(await server.run_job(job, label="read"))
+
+
+async def handle_changes(server, request: Request, params, obs) -> Response:
+    """GET /repos/{store}/docs/{doc_id}/changes?from=I&to=J — one
+    aggregated delta covering versions I..J (J < I yields the
+    inverse)."""
+    from_version = _int_param(
+        request.query.get("from", ""), "query parameter 'from'"
+    ) if request.query.get("from") else None
+    to_version = _int_param(
+        request.query.get("to", ""), "query parameter 'to'"
+    ) if request.query.get("to") else None
+    if from_version is None or to_version is None:
+        raise HttpError(
+            400, "query parameters 'from' and 'to' are required"
+        )
+    store, lock = server.store_entry(params["store"])
+    doc_id = params["doc_id"]
+
+    def job():
+        from repro.core.deltaxml import serialize_delta
+
+        with lock:
+            delta = store.changes_between(doc_id, from_version, to_version)
+            return {
+                "doc_id": doc_id,
+                "from": from_version,
+                "to": to_version,
+                "summary": dict(sorted(delta.summary().items())),
+                "delta": serialize_delta(delta),
+            }
+
+    return Response.json(await server.run_job(job, label="read"))
+
+
+# ---------------------------------------------------------------------------
+# operational endpoints (served inline — never queued, so they answer
+# even when the pool is saturated)
+# ---------------------------------------------------------------------------
+
+
+async def handle_healthz(server, request: Request, params, obs) -> Response:
+    """GET /healthz — liveness plus the load-shedding state."""
+    return Response.json(
+        {
+            "status": "draining" if server.draining else "ok",
+            "queue_depth": server.pool.queue_depth,
+            "queue_limit": server.pool.queue_limit,
+            "stores": sorted(server.config.stores),
+        }
+    )
+
+
+async def handle_metrics(server, request: Request, params, obs) -> Response:
+    """GET /metrics — the Prometheus text exposition of the server
+    registry (request counts/latency, queue depth, engine stages)."""
+    return Response(
+        body=server.metrics.to_prometheus().encode("utf-8"),
+        content_type="text/plain; version=0.0.4; charset=utf-8",
+    )
+
+
+#: The registered API surface, in matching order.
+ROUTES: tuple[Route, ...] = (
+    Route("GET", "/healthz", "healthz", handle_healthz, pooled=False),
+    Route("GET", "/metrics", "metrics", handle_metrics, pooled=False),
+    Route("POST", "/diff", "diff", handle_diff, pooled=True),
+    Route("POST", "/explain", "explain", handle_explain, pooled=True),
+    Route("POST", "/audit", "audit", handle_audit, pooled=True),
+    Route(
+        "POST", "/repos/{store}/commit", "commit", handle_commit, pooled=True
+    ),
+    Route("GET", "/repos/{store}/docs", "docs", handle_docs, pooled=True),
+    Route(
+        "GET", "/repos/{store}/docs/{doc_id}", "doc", handle_doc, pooled=True
+    ),
+    Route(
+        "GET",
+        "/repos/{store}/docs/{doc_id}/versions/{version}",
+        "version",
+        handle_version,
+        pooled=True,
+    ),
+    Route(
+        "GET",
+        "/repos/{store}/docs/{doc_id}/history",
+        "history",
+        handle_history,
+        pooled=True,
+    ),
+    Route(
+        "GET",
+        "/repos/{store}/docs/{doc_id}/changes",
+        "changes",
+        handle_changes,
+        pooled=True,
+    ),
+)

@@ -123,6 +123,16 @@ class FaultInjector:
         self._maybe_fail("unlink", label, path, None, None)
         self.ops.append(("unlink", label))
 
+    def on_job(self, label: str) -> None:
+        """Fault point before a server worker-pool job body runs.
+
+        Lets the suite kill a pooled diff or commit at a chosen point
+        (``label`` is the job label — ``"diff"``, ``"commit"``, ...)
+        the same way ``on_write`` kills a storage write.
+        """
+        self._maybe_fail("job", label, "", None, None)
+        self.ops.append(("job", label))
+
     # -- internals -----------------------------------------------------------
 
     def _maybe_fail(self, op: str, label: str, path: str, data, tear) -> None:

@@ -1,0 +1,142 @@
+"""WorkerPool: batching, backpressure, drain, fault hook."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.server.pool import PoolSaturated, WorkerPool
+from repro.testing import FaultInjector, InjectedCrash
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def test_submit_returns_result():
+    async def scenario():
+        pool = WorkerPool(workers=1)
+        await pool.start()
+        try:
+            assert await pool.submit(lambda: 40 + 2) == 42
+        finally:
+            await pool.close()
+
+    run(scenario())
+
+
+def test_job_exception_resolves_future():
+    async def scenario():
+        pool = WorkerPool(workers=1)
+        await pool.start()
+
+        def boom():
+            raise ValueError("broken job")
+
+        try:
+            with pytest.raises(ValueError, match="broken job"):
+                await pool.submit(boom)
+        finally:
+            await pool.close()
+
+    run(scenario())
+
+
+def test_saturated_queue_rejects_with_pool_saturated():
+    async def scenario():
+        metrics = MetricsRegistry()
+        pool = WorkerPool(workers=1, queue_limit=2, metrics=metrics)
+        await pool.start()
+        gate = threading.Event()
+        try:
+            blocker = pool.submit(gate.wait, label="blocker")
+            await asyncio.sleep(0.05)  # let the worker pick it up
+            queued = [pool.submit(lambda: None, label="fill")
+                      for _ in range(2)]
+            with pytest.raises(PoolSaturated):
+                pool.submit(lambda: None, label="overflow")
+            # Accepted work is never dropped: everything queued before
+            # saturation still completes once the blocker releases.
+            gate.set()
+            await blocker
+            await asyncio.gather(*queued)
+        finally:
+            gate.set()
+            await pool.close()
+        text = metrics.to_prometheus()
+        assert 'repro_server_rejected_total{label="overflow"} 1' in text
+
+    run(scenario())
+
+
+def test_batches_drain_queue_depth():
+    async def scenario():
+        metrics = MetricsRegistry()
+        pool = WorkerPool(
+            workers=1, queue_limit=32, batch_max=4, metrics=metrics
+        )
+        await pool.start()
+        gate = threading.Event()
+        try:
+            blocker = pool.submit(gate.wait, label="blocker")
+            await asyncio.sleep(0.05)
+            futures = [pool.submit(lambda i=i: i) for i in range(8)]
+            assert pool.queue_depth == 8
+            gate.set()
+            results = await asyncio.gather(blocker, *futures)
+            assert results[1:] == list(range(8))
+        finally:
+            gate.set()
+            await pool.close()
+        # With the worker blocked and 8 jobs queued, at least one batch
+        # above size 1 must have been shipped (batch_max caps it at 4).
+        text = metrics.to_prometheus()
+        assert 'repro_server_pool_batch_size_bucket{le="4"} ' in text
+
+    run(scenario())
+
+
+def test_drain_completes_accepted_work_then_rejects():
+    async def scenario():
+        pool = WorkerPool(workers=2)
+        await pool.start()
+        outcomes = []
+        futures = [
+            pool.submit(lambda i=i: outcomes.append(i)) for i in range(6)
+        ]
+        await pool.drain()
+        assert sorted(outcomes) == list(range(6))
+        assert all(future.done() for future in futures)
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+        await pool.close()
+
+    run(scenario())
+
+
+def test_fault_hook_fires_on_job_label():
+    async def scenario():
+        faults = FaultInjector(crash_after=1, label="diff")
+        pool = WorkerPool(workers=1, fault_hook=faults)
+        await pool.start()
+        try:
+            assert await pool.submit(lambda: "ok", label="diff") == "ok"
+            # Other labels do not count toward the crash budget.
+            assert await pool.submit(lambda: "ok", label="read") == "ok"
+            with pytest.raises(InjectedCrash):
+                await pool.submit(lambda: "never", label="diff")
+        finally:
+            await pool.close()
+        assert ("job", "read") in faults.ops
+
+    run(scenario())
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        WorkerPool(workers=0)
+    with pytest.raises(ValueError):
+        WorkerPool(queue_limit=0)
+    with pytest.raises(ValueError):
+        WorkerPool(batch_max=0)

@@ -94,3 +94,48 @@ class TestDriftDetection:
         assert {"--trace", "--trace-memory", "--metrics-out",
                 "--metrics-format"} <= flags
         assert "obs" in commands
+        assert "serve" in commands
+        assert {"--queue-limit", "--retry-after", "--trace-sample"} <= flags
+
+    def test_missing_server_page_flagged(self, check_docs, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        problems = []
+        check_docs.check_server_docs(docs, problems)
+        assert any("docs/server.md: missing" in p for p in problems)
+
+    def test_endpoint_drift_flagged_both_directions(
+        self, check_docs, tmp_path
+    ):
+        from repro.server import route_table
+
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        rows = [
+            f"| `{method} {pattern}` | — | — |"
+            for method, pattern in route_table()
+        ]
+        # Drop a real endpoint and invent a phantom one.
+        dropped = rows.pop()
+        rows.append("| `DELETE /phantom` | — | — |")
+        (docs / "server.md").write_text("\n".join(rows) + "\n")
+        problems = []
+        check_docs.check_server_docs(docs, problems)
+        assert any("DELETE /phantom" in p and "not registered" in p
+                   for p in problems)
+        assert any("missing from the endpoint table" in p
+                   for p in problems)
+
+    def test_endpoint_table_in_sync_passes(self, check_docs, tmp_path):
+        from repro.server import route_table
+
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        rows = [
+            f"| `{method} {pattern}` | req | resp |"
+            for method, pattern in route_table()
+        ]
+        (docs / "server.md").write_text("\n".join(rows) + "\n")
+        problems = []
+        check_docs.check_server_docs(docs, problems)
+        assert problems == []

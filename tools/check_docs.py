@@ -16,6 +16,10 @@ Three classes of drift, all fatal:
    the docs and README must use a scheme the storage layer actually
    registers (``file``, ``sqlite``, ``blob``, ``shard``); web schemes
    (``http(s)``, ``mailto``) are exempt.
+5. **Endpoint-table drift** — the endpoint reference table in
+   docs/server.md must list exactly the routes ``repro.server``
+   registers (``route_table()``), in both directions: no documented
+   endpoint the server lacks, no served endpoint the docs omit.
 
 Usage: ``python tools/check_docs.py`` (from anywhere; exits 1 on drift).
 """
@@ -37,6 +41,10 @@ MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+(?![\w/])")
 FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z0-9-]*")
 HEADING_RE = re.compile(r"^##+\s+(.+?)\s*$", re.MULTILINE)
 SCHEME_RE = re.compile(r"\b([a-z][a-z0-9+.-]*)://")
+#: A docs/server.md endpoint-table row: first cell is `METHOD /path`.
+ENDPOINT_ROW_RE = re.compile(
+    r"^\|\s*`(GET|POST|PUT|PATCH|DELETE)\s+(/[^`]*)`", re.MULTILINE
+)
 #: URL schemes that are links, not store addresses.
 WEB_SCHEMES = {"http", "https", "mailto"}
 
@@ -156,6 +164,31 @@ def check_store_schemes(path: pathlib.Path, text: str, problems: list[str]) -> N
         )
 
 
+def check_server_docs(docs_dir: pathlib.Path, problems: list[str]) -> None:
+    """docs/server.md's endpoint table must equal the registered routes."""
+    from repro.server import route_table
+
+    page = docs_dir / "server.md"
+    if not page.exists():
+        problems.append("docs/server.md: missing (the HTTP API reference)")
+        return
+    documented = {
+        (method, pattern.strip())
+        for method, pattern in ENDPOINT_ROW_RE.findall(page.read_text())
+    }
+    registered = set(route_table())
+    for method, pattern in sorted(documented - registered):
+        problems.append(
+            f"docs/server.md: endpoint `{method} {pattern}` is "
+            "documented but not registered by repro.server"
+        )
+    for method, pattern in sorted(registered - documented):
+        problems.append(
+            f"docs/server.md: endpoint `{method} {pattern}` is "
+            "served but missing from the endpoint table"
+        )
+
+
 def main() -> int:
     problems: list[str] = []
     docs_dir = ROOT / "docs"
@@ -176,6 +209,7 @@ def main() -> int:
         check_store_schemes(path, text, problems)
 
     check_cli_docs(docs_dir, problems)
+    check_server_docs(docs_dir, problems)
 
     if problems:
         for problem in problems:
