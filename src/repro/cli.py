@@ -448,6 +448,15 @@ def _cmd_store_cat(args) -> int:
 
 
 def _cmd_store_commit(args) -> int:
+    if args.url and args.store:
+        print("error: --store and --url are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.url:
+        return _store_commit_remote(args)
+    if not args.store:
+        print("error: one of --store or --url is required", file=sys.stderr)
+        return 2
     tracer, metrics = _obs_from_args(args)
     store = _open_version_store(
         args, must_exist=False, tracer=tracer, metrics=metrics
@@ -467,6 +476,54 @@ def _cmd_store_commit(args) -> int:
         print(f"created {doc_id} version 1")
     store.repository.close()
     _write_obs(args, tracer, metrics)
+    return 0
+
+
+def _store_commit_remote(args) -> int:
+    """``store commit --url``: commit through a running diff service.
+
+    Uses :class:`repro.client.DiffClient`, so the call inherits the
+    full resilience stack — timeouts, retries with backoff, and an
+    automatic ``Idempotency-Key`` that makes the retries safe.
+    """
+    from repro.client import ClientError, DiffClient
+
+    if not args.repo_name:
+        print("error: --url requires --repo NAME (the server-side store "
+              "name under /repos/NAME)", file=sys.stderr)
+        return 2
+    document_text = _read(args.document)
+    client = DiffClient(
+        args.url.rstrip("/"),
+        timeout=args.timeout,
+        retries=args.retries,
+        deadline_ms=args.deadline_ms,
+    )
+    try:
+        result = client.commit(
+            args.repo_name,
+            args.doc_id,
+            document_text,
+            keep_whitespace=args.keep_whitespace,
+            idempotency_key=args.idempotency_key,
+        )
+    except ClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    version = result.get("version")
+    summary = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted((result.get("summary") or {}).items())
+    )
+    verb = "created" if version == 1 else "committed"
+    line = f"{verb} {args.doc_id} version {version}"
+    if version != 1:
+        line += f" ({summary or 'no-op'})"
+    if result.get("replayed"):
+        line += " [replayed]"
+    print(line)
     return 0
 
 
@@ -758,6 +815,8 @@ def _cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         batch_max=args.batch_max,
         retry_after=args.retry_after,
+        default_deadline=args.default_deadline,
+        max_deadline=args.max_deadline,
         trace_sample=args.trace_sample,
         trace_dir=args.trace_dir,
         durability=args.durability,
@@ -963,11 +1022,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     leaf = store_sub.add_parser(
         "commit", help="commit a document file as the next version "
-                       "(creates the document, and the store, if new)"
+                       "(creates the document, and the store, if new); "
+                       "--url commits through a running diff service "
+                       "instead of opening the store directly"
     )
     leaf.add_argument("doc_id")
     leaf.add_argument("document", help="XML file (or '-' for stdin)")
-    add_store_url(leaf)
+    leaf.add_argument(
+        "--store", default=None, metavar="URL",
+        help="store URL or path (file://, sqlite://, blob://, "
+             "shard://PATH?shards=N&backend=SCHEME, or a bare path); "
+             "exactly one of --store / --url is required",
+    )
+    leaf.add_argument(
+        "--url", default=None, metavar="http://HOST:PORT",
+        help="commit via a diff service (retries with backoff under an "
+             "automatic Idempotency-Key; see docs/server.md)",
+    )
+    leaf.add_argument(
+        "--repo", dest="repo_name", default=None, metavar="NAME",
+        help="server-side store name under /repos/NAME "
+             "(required with --url)",
+    )
+    leaf.add_argument("--idempotency-key", default=None, metavar="KEY",
+                      help="explicit Idempotency-Key (default: a fresh "
+                           "uuid per invocation)")
+    leaf.add_argument("--timeout", type=float, default=30.0,
+                      metavar="SECONDS",
+                      help="per-socket-operation timeout with --url "
+                           "(default 30)")
+    leaf.add_argument("--retries", type=int, default=3,
+                      help="retry budget with --url (default 3)")
+    leaf.add_argument("--deadline-ms", type=int, default=None,
+                      metavar="MS",
+                      help="send X-Repro-Deadline-Ms with --url "
+                           "(default: server default)")
     leaf.add_argument("--keep-whitespace", action="store_true",
                       help="preserve whitespace-only text nodes")
     add_obs(leaf)
@@ -1080,7 +1169,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "experiments", nargs="*", metavar="EXPERIMENT",
         help="experiment ids (FIG4 FIG5 FIG6 SITE COMP QUAL ABL STORE "
-             "SHARD SERVE); default: all",
+             "SHARD SERVE CHAOS); default: all",
     )
     sub.add_argument("--fast", action="store_true",
                      help="reduced workload sizes (the CI perf-smoke tier)")
@@ -1135,6 +1224,14 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="Retry-After value sent with 429/503 "
                           "(default 1)")
+    sub.add_argument("--default-deadline", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="per-request budget when the client sends no "
+                          "X-Repro-Deadline-Ms (default 30)")
+    sub.add_argument("--max-deadline", type=float, default=120.0,
+                     metavar="SECONDS",
+                     help="ceiling a client-requested deadline is "
+                          "clamped to (default 120)")
     sub.add_argument("--trace-sample", type=int, default=0, metavar="N",
                      help="trace every Nth pooled request and echo the "
                           "span id in X-Repro-Span-Id (default 0: off)")

@@ -1,0 +1,118 @@
+"""A consumption-side circuit breaker for the diff service client.
+
+When the server is down (connection refused, 5xx on every request), a
+naive retrying client makes things worse: every call burns its full
+retry budget against a dead endpoint, multiplying load and latency.
+The breaker converts that into fast, local failure:
+
+- **closed** — normal operation; consecutive transport/5xx failures
+  are counted, and ``threshold`` of them in a row open the breaker
+  (any success resets the count);
+- **open** — calls fail immediately with
+  :class:`~repro.client.core.CircuitOpen`, no network touched, until
+  ``reset_timeout`` seconds have passed;
+- **half-open** — after the timeout, exactly *one* probe request is
+  let through; success closes the breaker, failure re-opens it (and
+  restarts the timeout).
+
+Only failures that say "the service is unhealthy" trip it: connect
+errors, timeouts and 5xx responses.  A 4xx (including 429 — the server
+is healthy, just busy) never counts.
+
+The clock is injectable so tests can step time instead of sleeping.
+The state is published as the ``repro_client_breaker_state`` gauge
+(0 = closed, 1 = half-open, 2 = open).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "STATE_VALUES"]
+
+#: Gauge encoding of the breaker state.
+STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker; see the module docstring.
+
+    Args:
+        threshold: Consecutive failures that open the breaker.
+        reset_timeout: Seconds the breaker stays open before allowing
+            a half-open probe.
+        clock: Monotonic time source (injectable for tests).
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            for the state gauge.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics=None,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0 seconds")
+        self.threshold = threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self.state = "closed"
+        self.failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._gauge = None
+        if metrics is not None:
+            self._gauge = metrics.gauge(
+                "repro_client_breaker_state",
+                help="Client circuit-breaker state "
+                     "(0=closed, 1=half-open, 2=open).",
+            )
+            self._gauge.set(0)
+
+    def _set_state(self, state: str) -> None:
+        self.state = state
+        if self._gauge is not None:
+            self._gauge.set(STATE_VALUES[state])
+
+    def allow(self) -> bool:
+        """Whether a request may go out right now.
+
+        In the half-open window this admits exactly one probe; further
+        calls are refused until that probe reports back.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() - self._opened_at < self.reset_timeout:
+                return False
+            self._set_state("half_open")
+            self._probe_in_flight = True
+            return True
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        """A request completed against a healthy server."""
+        self.failures = 0
+        self._probe_in_flight = False
+        self._set_state("closed")
+
+    def record_failure(self) -> None:
+        """A request hit a transport failure or a 5xx."""
+        self._probe_in_flight = False
+        if self.state == "half_open":
+            # The probe failed: straight back to open, timer restarted.
+            self._opened_at = self._clock()
+            self._set_state("open")
+            return
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self._opened_at = self._clock()
+            self._set_state("open")

@@ -1,0 +1,372 @@
+"""A self-healing stdlib client for the diff service.
+
+:class:`DiffClient` wraps the HTTP API of :mod:`repro.server` with the
+failure handling a caller would otherwise have to reinvent:
+
+- **timeouts** on every socket operation (no hung call sites);
+- **idempotent retries** — capped exponential backoff with full
+  jitter; a 429/503 ``Retry-After`` is honoured as the *minimum* wait;
+  only requests that are safe to repeat are retried (GETs always,
+  commits only under an ``Idempotency-Key`` — which the client
+  generates automatically, so a commit retried across a crashed
+  response cannot double-append);
+- **deadline propagation** — a configured budget is sent as
+  ``X-Repro-Deadline-Ms`` so the server stops working on a request
+  the client has given up on;
+- a **circuit breaker** (:class:`~repro.client.breaker.CircuitBreaker`)
+  so a dead server costs one fast local failure instead of a full
+  retry budget per call.
+
+Every failure mode surfaces as a typed exception (:class:`ApiError`,
+:class:`ServerUnavailable`, :class:`CircuitOpen` — all
+:class:`ClientError`); anything else escaping a client call is a bug,
+which is exactly the invariant the chaos harness
+(:mod:`repro.testing.chaos`) asserts.
+
+The randomness (jitter), the sleep and the clock are all injectable —
+tests and the chaos scenarios run with a seeded
+:class:`random.Random` and a virtual sleep.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+import uuid
+from typing import Callable, Optional
+from urllib.parse import quote, urlsplit
+
+from repro.client.breaker import CircuitBreaker
+from repro.server.deadline import DEADLINE_HEADER
+from repro.server.idempotency import IDEMPOTENCY_HEADER, REPLAY_HEADER
+from repro.xmlkit.errors import ReproError
+
+__all__ = [
+    "ApiError",
+    "CircuitOpen",
+    "ClientError",
+    "DiffClient",
+    "ServerUnavailable",
+]
+
+#: Statuses worth retrying: the server is overloaded (429), shedding
+#: (503), or the request ran out of budget (504 — safe to re-ask, the
+#: server dropped or abandoned the work).
+RETRYABLE_STATUSES = (429, 503, 504)
+
+
+class ClientError(ReproError):
+    """Base of every failure a :class:`DiffClient` call can raise."""
+
+
+class CircuitOpen(ClientError):
+    """The circuit breaker is open — no request was attempted."""
+
+
+class ServerUnavailable(ClientError):
+    """Retries exhausted against transport errors / 5xx responses.
+
+    ``last_error`` carries the final underlying failure (an exception
+    or an :class:`ApiError`).
+    """
+
+    def __init__(self, message: str, last_error=None):
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class ApiError(ClientError):
+    """The server answered with an error status.
+
+    Attributes mirror the wire error envelope: ``status`` (HTTP),
+    ``code`` (machine-readable, e.g. ``deadline-exceeded``),
+    ``message``.
+    """
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"{status} {code}: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class DiffClient:
+    """HTTP client for one diff-service endpoint; see module docstring.
+
+    Args:
+        base_url: ``http://host:port`` of the server.
+        timeout: Per-socket-operation timeout, seconds.
+        retries: Additional attempts after the first (0 disables
+            retrying).
+        backoff_base / backoff_cap: Full-jitter exponential backoff —
+            attempt *n* sleeps ``uniform(0, min(cap, base * 2**n))``
+            seconds (a ``Retry-After`` response header raises the
+            floor to its value).
+        deadline_ms: Budget sent as ``X-Repro-Deadline-Ms`` on every
+            request (``None`` = let the server apply its default).
+        breaker: A :class:`CircuitBreaker` (one is built from
+            ``breaker_threshold``/``breaker_reset`` when omitted;
+            pass an explicit instance to share one breaker across
+            clients).
+        metrics: Optional registry for ``repro_client_retries_total``
+            and the breaker state gauge.
+        rng: Jitter source (seedable for determinism).
+        sleep: Sleep function (injectable for virtual time).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+        deadline_ms: Optional[int] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 5.0,
+        metrics=None,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.deadline_ms = deadline_ms
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            threshold=breaker_threshold,
+            reset_timeout=breaker_reset,
+            metrics=metrics,
+        )
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._retries_total = None
+        if metrics is not None:
+            self._retries_total = metrics.counter(
+                "repro_client_retries_total",
+                help="Client request retries, by reason "
+                     "(transport, status code).",
+            )
+
+    # -- transport -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the kept-alive connection (safe to call any time)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "DiffClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _attempt(self, method, path, body, headers):
+        """One wire round trip; returns ``(status, headers, payload)``.
+
+        The connection is kept alive across calls and dropped on any
+        transport problem (the retry loop reconnects).  Transport
+        problems raise ``OSError``/``http.client`` errors for the
+        retry loop to classify.
+        """
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except BaseException:
+            self.close()
+            raise
+        if response.will_close:
+            self.close()
+        payload = {}
+        if raw:
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                # A half-written body (killed connection) usually
+                # surfaces here rather than as a socket error.
+                self.close()
+                raise http.client.IncompleteRead(raw) from error
+        return response.status, dict(response.getheaders()), payload
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        headers: Optional[dict] = None,
+        retryable: Optional[bool] = None,
+    ) -> tuple[int, dict, dict]:
+        """A raw API call with the full resilience stack applied.
+
+        Returns ``(status, response_headers, payload)`` for 2xx.
+        ``retryable`` defaults to ``method == "GET"``; POSTs opt in
+        when they are safe to repeat (a commit with an idempotency
+        key).
+        """
+        if retryable is None:
+            retryable = method == "GET"
+        send_headers = dict(headers or {})
+        body = None
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            send_headers["Content-Type"] = "application/json"
+        if self.deadline_ms is not None:
+            send_headers.setdefault(DEADLINE_HEADER, str(self.deadline_ms))
+
+        attempts = (self.retries + 1) if retryable else 1
+        last_error = None
+        for attempt in range(attempts):
+            if not self.breaker.allow():
+                raise CircuitOpen(
+                    "circuit breaker is open — server marked unhealthy"
+                )
+            retry_after = None
+            try:
+                status, resp_headers, data = self._attempt(
+                    method, path, body, send_headers
+                )
+            except (OSError, http.client.HTTPException) as error:
+                # Connect refused, timeout, killed connection, torn
+                # body: all "server unhealthy" — breaker counts them.
+                self.breaker.record_failure()
+                last_error = error
+                reason = "transport"
+            else:
+                if status < 400:
+                    self.breaker.record_success()
+                    return status, resp_headers, data
+                error_info = data.get("error", {}) if isinstance(
+                    data, dict
+                ) else {}
+                api_error = ApiError(
+                    status,
+                    str(error_info.get("code", "unknown")),
+                    str(error_info.get("message", "")),
+                )
+                if status >= 500 and status != 504:
+                    # 504 is the server *working as designed* (a
+                    # deadline did its job), not an unhealthy server.
+                    self.breaker.record_failure()
+                else:
+                    self.breaker.record_success()
+                if status not in RETRYABLE_STATUSES and status < 500:
+                    raise api_error  # 4xx: our request is wrong; no retry
+                last_error = api_error
+                reason = str(status)
+                retry_after = resp_headers.get("Retry-After")
+            if attempt + 1 >= attempts:
+                break
+            if self._retries_total is not None:
+                self._retries_total.inc(reason=reason)
+            self._sleep(self._backoff(attempt, retry_after))
+        raise ServerUnavailable(
+            f"{method} {path} failed after {attempts} attempt(s): "
+            f"{last_error}",
+            last_error=last_error,
+        )
+
+    def _backoff(self, attempt: int, retry_after: Optional[str]) -> float:
+        delay = self._rng.uniform(
+            0.0, min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        )
+        if retry_after:
+            try:
+                delay = max(delay, float(retry_after))
+            except ValueError:
+                pass  # malformed hint — keep the jittered delay
+        return delay
+
+    # -- API surface ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")[2]
+
+    def diff(self, old: str, new: str, engine: Optional[str] = None,
+             keep_whitespace: bool = False) -> dict:
+        payload = {"old": old, "new": new,
+                   "keep_whitespace": keep_whitespace}
+        if engine is not None:
+            payload["engine"] = engine
+        return self.request("POST", "/diff", payload)[2]
+
+    def commit(
+        self,
+        store: str,
+        doc_id: str,
+        document: str,
+        keep_whitespace: bool = False,
+        idempotency_key: Optional[str] = None,
+    ) -> dict:
+        """Commit one document version; retry-safe by construction.
+
+        An ``Idempotency-Key`` is generated when the caller does not
+        supply one, which is what makes the retries sound: a commit
+        whose response was lost is *replayed* by the server, never
+        applied twice.  The response payload gains ``"replayed": True``
+        when the server answered from its idempotency record.
+        """
+        key = idempotency_key or uuid.uuid4().hex
+        status, headers, payload = self.request(
+            "POST",
+            f"/repos/{quote(store, safe='')}/commit",
+            {
+                "doc_id": doc_id,
+                "document": document,
+                "keep_whitespace": keep_whitespace,
+            },
+            headers={IDEMPOTENCY_HEADER: key},
+            retryable=True,
+        )
+        if headers.get(REPLAY_HEADER, "").lower() == "true":
+            payload = dict(payload, replayed=True)
+        return payload
+
+    def documents(self, store: str) -> list[dict]:
+        path = f"/repos/{quote(store, safe='')}/docs"
+        return self.request("GET", path)[2]["documents"]
+
+    def get_version(
+        self, store: str, doc_id: str, version: Optional[int] = None
+    ) -> dict:
+        path = (
+            f"/repos/{quote(store, safe='')}/docs/{quote(doc_id, safe='')}"
+        )
+        if version is not None:
+            path += f"/versions/{version}"
+        return self.request("GET", path)[2]
+
+    def history(self, store: str, doc_id: str) -> dict:
+        path = (
+            f"/repos/{quote(store, safe='')}/docs/"
+            f"{quote(doc_id, safe='')}/history"
+        )
+        return self.request("GET", path)[2]
+
+    def changes(
+        self, store: str, doc_id: str, from_version: int, to_version: int
+    ) -> dict:
+        path = (
+            f"/repos/{quote(store, safe='')}/docs/"
+            f"{quote(doc_id, safe='')}/changes"
+            f"?from={from_version}&to={to_version}"
+        )
+        return self.request("GET", path)[2]

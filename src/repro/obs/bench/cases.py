@@ -46,7 +46,7 @@ __all__ = ["EXPERIMENT_ORDER"]
 #: Canonical run/report order (matches DESIGN.md and the README table).
 EXPERIMENT_ORDER = (
     "FIG4", "FIG5", "FIG6", "SITE", "COMP", "QUAL", "ABL", "STORE", "SHARD",
-    "SERVE",
+    "SERVE", "CHAOS",
 )
 
 #: Wider stage-latency bounds for snapshot-scale workloads — the default
@@ -984,8 +984,6 @@ def _percentile(samples, fraction: float) -> float:
 
 
 def _serve_cases(fast: bool) -> list[BenchCase]:
-    import http.client
-    import json
     import threading
     import time
 
@@ -1000,6 +998,7 @@ def _serve_cases(fast: bool) -> list[BenchCase]:
     for name, clients, per_client, commit_every in configurations:
         def run(prepared, obs, clients=clients, per_client=per_client,
                 commit_every=commit_every):
+            from repro.client import ClientError, DiffClient
             from repro.server import ServerConfig, serve_in_thread
 
             bodies = prepared
@@ -1017,38 +1016,41 @@ def _serve_cases(fast: bool) -> list[BenchCase]:
                 errors = [0] * clients
 
                 def client(worker: int) -> None:
-                    connection = http.client.HTTPConnection(
-                        handle.host, handle.port, timeout=60
+                    import random
+
+                    api = DiffClient(
+                        f"http://{handle.host}:{handle.port}",
+                        timeout=60,
+                        retries=2,
+                        backoff_base=0.01,
+                        backoff_cap=0.25,
+                        rng=random.Random(worker),
                     )
                     for request_index in range(per_client):
                         old_xml, new_xml = bodies[
                             (worker + request_index) % len(bodies)
                         ]
-                        if commit_every and request_index % commit_every == 0:
-                            path = "/repos/bench/commit"
-                            payload = {
-                                "doc_id": f"doc-{worker}",
-                                "document": new_xml
-                                if request_index % (2 * commit_every)
-                                else old_xml,
-                            }
-                        else:
-                            path = "/diff"
-                            payload = {"old": old_xml, "new": new_xml}
-                        body = json.dumps(payload).encode("utf-8")
                         started = time.perf_counter()
-                        connection.request(
-                            "POST", path, body=body,
-                            headers={"Content-Type": "application/json"},
-                        )
-                        response = connection.getresponse()
-                        response.read()
+                        try:
+                            if (
+                                commit_every
+                                and request_index % commit_every == 0
+                            ):
+                                api.commit(
+                                    "bench",
+                                    f"doc-{worker}",
+                                    new_xml
+                                    if request_index % (2 * commit_every)
+                                    else old_xml,
+                                )
+                            else:
+                                api.diff(old_xml, new_xml)
+                        except ClientError:
+                            errors[worker] += 1
                         latencies[worker].append(
                             time.perf_counter() - started
                         )
-                        if response.status not in (200, 201):
-                            errors[worker] += 1
-                    connection.close()
+                    api.close()
 
                 threads = [
                     threading.Thread(target=client, args=(worker,))
@@ -1115,14 +1117,117 @@ register_experiment(
         summarize=_serve_summary,
         notes=(
             "each case boots a DiffServer on an ephemeral port and "
-            "drives it with keep-alive client threads: diff-c2 is pure "
-            "POST /diff, mixed-c4 interleaves commits into a sqlite:// "
-            "store behind /repos/bench",
+            "drives it with keep-alive DiffClient threads (the "
+            "repro.client resilience stack): diff-c2 is pure "
+            "POST /diff, mixed-c4 interleaves idempotent commits into "
+            "a sqlite:// store behind /repos/bench",
             "wall median gates end-to-end throughput; http_errors and "
             "lost_responses gate correctness (every request must get a "
             "2xx answer)",
             "requests_per_second and the latency percentiles are "
             "informational (timing-derived, not gated as quality)",
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# CHAOS — fault-injected service run; resilience invariants gated at zero
+# ---------------------------------------------------------------------------
+
+
+def _chaos_cases(fast: bool) -> list[BenchCase]:
+    from repro.testing.chaos import default_scenarios, run_scenario
+
+    scale = 1 if fast else 3
+    cases = []
+    for scenario in default_scenarios():
+        def run(prepared, obs, scenario=scenario, scale=scale):
+            scenario.commits_per_client = 6 * scale
+            report = run_scenario(scenario)
+            return {
+                # Gated: the resilience invariants (must stay zero).
+                "lost_commits": report.lost_commits,
+                "duplicate_commits": report.duplicate_commits,
+                "unanswered": report.unanswered,
+                "breaker_stuck": 0 if report.breaker_recovered else 1,
+                # Informational: the fault pressure actually exerted
+                # and how the stack absorbed it.
+                "requests": report.requests,
+                "acked": report.acked,
+                "replays": report.replays,
+                "clean_failures": report.clean_failures,
+                "faults_fired": report.faults_fired,
+            }
+
+        cases.append(
+            BenchCase(
+                name=scenario.name,
+                setup=lambda: None,
+                prepare=lambda state: state,
+                run=run,
+                params={
+                    "clients": scenario.clients,
+                    "commits_per_client": 6 * scale,
+                    "description": scenario.description,
+                },
+                gated_quality=(
+                    "lost_commits",
+                    "duplicate_commits",
+                    "unanswered",
+                    "breaker_stuck",
+                ),
+                # Wall time here is retry sleeps + fault-timing races,
+                # not a performance signal — the invariants gate.
+                gate_wall=False,
+            )
+        )
+    return cases
+
+
+def _chaos_summary(cases: list[dict]) -> dict:
+    return {
+        "scenarios": len(cases),
+        "clean_scenarios": sum(
+            1
+            for case in cases
+            if case["quality"]["lost_commits"] == 0
+            and case["quality"]["duplicate_commits"] == 0
+            and case["quality"]["unanswered"] == 0
+            and case["quality"]["breaker_stuck"] == 0
+        ),
+        "total_replays": sum(
+            case["quality"]["replays"] for case in cases
+        ),
+        "total_faults_fired": sum(
+            case["quality"]["faults_fired"] for case in cases
+        ),
+    }
+
+
+register_experiment(
+    Experiment(
+        id="CHAOS",
+        title="Fault-injected service run (chaos invariants)",
+        cases=_chaos_cases,
+        summarize=_chaos_summary,
+        notes=(
+            "each case is one repro.testing.chaos scenario: a live "
+            "DiffServer over a temp sqlite:// store with a "
+            "FaultInjector threaded through storage writes, pool jobs "
+            "and response writes, driven by concurrent DiffClient "
+            "workers",
+            "lost_commits, duplicate_commits, unanswered and "
+            "breaker_stuck are gated at zero — acknowledged work "
+            "survives, retries never double-apply, every request "
+            "fails typed, and the circuit breaker closes once faults "
+            "stop",
+            "replays and faults_fired are informational: they prove "
+            "the faults actually exerted pressure (a chaos run where "
+            "nothing fired proves nothing)",
+            "wall time is not gated (gate_wall=false): scenario "
+            "duration is dominated by injected latency and retry "
+            "backoff, which vary with fault-timing races",
         ),
     )
 )

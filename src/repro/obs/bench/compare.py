@@ -118,6 +118,17 @@ def compare_payloads(
         new_wall = new_case["wall_seconds"]["median"]
         change = _relative_change(old_wall, new_wall)
         below_floor = old_wall < min_seconds and new_wall < min_seconds
+        # Both sides must opt in: a case that declared its timing
+        # fault-dominated (gate_wall false) stays informational even
+        # against an older baseline that predates the field.
+        wall_gated = old_case.get("gate_wall", True) and new_case.get(
+            "gate_wall", True
+        )
+        note = ""
+        if below_floor:
+            note = "below noise floor"
+        elif not wall_gated:
+            note = "informational"
         report.rows.append(
             ComparisonRow(
                 case=name,
@@ -126,9 +137,12 @@ def compare_payloads(
                 new=new_wall,
                 change=change,
                 regression=(
-                    tiers_match and not below_floor and change > threshold
+                    tiers_match
+                    and wall_gated
+                    and not below_floor
+                    and change > threshold
                 ),
-                note="below noise floor" if below_floor else "",
+                note=note,
             )
         )
         gated = set(old_case.get("gated_quality", [])) & set(

@@ -90,6 +90,12 @@ class BenchCase:
         gated_quality: Quality keys the ``--compare`` gate treats as
             *lower-is-better* regressions; all other keys are
             informational.
+        gate_wall: Whether the ``--compare`` gate judges this case's
+            median wall time.  Off for workloads whose timing is
+            dominated by injected faults and retry sleeps (the chaos
+            scenarios): their wall clock is an outcome of fault-timing
+            races, not a performance signal, so only the quality
+            invariants gate.
         stage_buckets: Optional histogram bounds for this case's
             ``repro_stage_seconds`` (forwarded as
             ``diff_with_stats(stage_buckets=...)`` via ``obs``) — the
@@ -102,6 +108,7 @@ class BenchCase:
     prepare: Optional[Callable[[object], object]] = None
     params: dict = field(default_factory=dict)
     gated_quality: tuple = ()
+    gate_wall: bool = True
     stage_buckets: Optional[tuple] = None
 
 
@@ -317,6 +324,7 @@ class BenchRunner:
             "memory_peak_bytes": max(memory_peaks) if memory_peaks else None,
             "quality": quality,
             "gated_quality": list(case.gated_quality),
+            "gate_wall": case.gate_wall,
         }
 
     def _emit(self, line: str) -> None:

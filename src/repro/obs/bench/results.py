@@ -266,6 +266,8 @@ def validate_bench_payload(payload: dict) -> list[str]:
                     problems.append(
                         f"{where}: gated quality key {key!r} must be numeric"
                     )
+        if "gate_wall" in case and not isinstance(case["gate_wall"], bool):
+            problems.append(f"{where}: 'gate_wall' must be a boolean")
         if "stage_histogram" in case and case["stage_histogram"] is not None:
             if not isinstance(case["stage_histogram"], dict):
                 problems.append(

@@ -18,11 +18,18 @@ from repro.server.app import (
     ServerHandle,
     serve_in_thread,
 )
+from repro.server.deadline import Deadline, DeadlineExceeded
+from repro.server.http import API_HEADERS, status_reasons
+from repro.server.idempotency import IdempotencyCache
 from repro.server.pool import PoolSaturated, WorkerPool
 from repro.server.routes import ROUTES, match_route, route_table
 
 __all__ = [
+    "API_HEADERS",
+    "Deadline",
+    "DeadlineExceeded",
     "DiffServer",
+    "IdempotencyCache",
     "PoolSaturated",
     "ROUTES",
     "ServerConfig",
@@ -31,4 +38,5 @@ __all__ = [
     "match_route",
     "route_table",
     "serve_in_thread",
+    "status_reasons",
 ]

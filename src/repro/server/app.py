@@ -42,6 +42,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.server.deadline import (
+    DEADLINE_HEADER,
+    DEADLINE_HELP,
+    Deadline,
+    DeadlineExceeded,
+)
 from repro.server.http import (
     DEFAULT_MAX_BODY,
     HttpError,
@@ -49,6 +55,7 @@ from repro.server.http import (
     Response,
     read_request,
 )
+from repro.server.idempotency import IdempotencyCache
 from repro.server.pool import PoolSaturated, WorkerPool
 from repro.server.routes import ROUTES, RequestObs, match_route
 from repro.xmlkit.errors import (
@@ -87,6 +94,16 @@ class ServerConfig:
             only long enough to echo the span id.
         max_body_bytes: Request body cap (413 beyond it).
         durability: Write policy handed to every store backend.
+        default_deadline: Per-request time budget, in seconds, when the
+            client sends no ``X-Repro-Deadline-Ms`` header.
+        max_deadline: Hard ceiling on any request budget — the header
+            is clamped to this, and internal waits (thread handle
+            operations, shutdown joins) are derived from it.
+        idempotency_ttl: Seconds a recorded commit response stays
+            replayable from the in-memory cache (the store journal
+            covers retries beyond it).
+        idempotency_max: Bound on cached commit responses (oldest
+            evicted first).
     """
 
     host: str = "127.0.0.1"
@@ -101,6 +118,16 @@ class ServerConfig:
     trace_dir: Optional[str] = None
     max_body_bytes: int = DEFAULT_MAX_BODY
     durability: str = "none"
+    default_deadline: float = 30.0
+    max_deadline: float = 120.0
+    idempotency_ttl: float = 600.0
+    idempotency_max: int = 1024
+
+    def __post_init__(self):
+        if self.default_deadline <= 0:
+            raise ValueError("default_deadline must be > 0 seconds")
+        if self.max_deadline <= 0:
+            raise ValueError("max_deadline must be > 0 seconds")
 
 
 class DiffServer:
@@ -152,6 +179,19 @@ class DiffServer:
         self._sampled_total = self.metrics.counter(
             "repro_server_traced_requests_total",
             help="Requests that ran with a sampled tracer.",
+        )
+        # Same name+help the pool registers — one shared series.
+        self._deadline_total = self.metrics.counter(
+            "repro_deadline_exceeded_total", help=DEADLINE_HELP
+        )
+        self._replays_total = self.metrics.counter(
+            "repro_idempotent_replays_total",
+            help="Commits answered from a recorded response instead of "
+                 "re-executing, by source (cache or journal).",
+        )
+        self.idempotency = IdempotencyCache(
+            max_entries=config.idempotency_max,
+            ttl=config.idempotency_ttl,
         )
 
     # -- store resolution ----------------------------------------------------
@@ -248,7 +288,10 @@ class DiffServer:
                     break
                 response = await self.dispatch(request)
                 keep_alive = request.keep_alive and not self.draining
-                writer.write(response.to_bytes(keep_alive=keep_alive))
+                payload = response.to_bytes(keep_alive=keep_alive)
+                if self._kill_response(writer, payload):
+                    break
+                writer.write(payload)
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -260,6 +303,28 @@ class DiffServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
+
+    def _kill_response(self, writer, payload: bytes) -> bool:
+        """Chaos hook: kill the connection mid-response when armed.
+
+        When the fault injector's ``on_response`` point fires, half
+        the payload is written and the transport aborted — the client
+        sees a torn response after the server *did* the work, which is
+        the exact failure idempotent retries must survive.  Returns
+        whether the connection was killed.
+        """
+        on_response = getattr(self.faults, "on_response", None)
+        if on_response is None:
+            return False
+        try:
+            on_response("response")
+        except OSError:
+            writer.write(payload[: max(1, len(payload) // 2)])
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            return True
+        return False
 
     # -- dispatch ------------------------------------------------------------
 
@@ -280,6 +345,15 @@ class DiffServer:
             if self.draining:
                 raise HttpError(503, "server is shutting down")
             obs = self._sample(route, request)
+            if route.pooled:
+                try:
+                    obs.deadline = Deadline.from_header(
+                        request.headers.get(DEADLINE_HEADER.lower()),
+                        default=self.config.default_deadline,
+                        maximum=self.config.max_deadline,
+                    )
+                except ValueError as error:
+                    raise HttpError(400, str(error)) from None
             try:
                 response = await route.handler(self, request, params, obs)
             finally:
@@ -296,7 +370,17 @@ class DiffServer:
                 "overloaded",
                 f"{error}; retry after "
                 f"{self.config.retry_after:g} seconds",
-                headers={"Retry-After": f"{self.config.retry_after:g}"},
+                headers={
+                    "Retry-After": f"{self.config.retry_after:g}",
+                    # Debug aid for tuning queue_limit from the client
+                    # side: how deep the queue was when this request
+                    # was shed.
+                    "X-Repro-Queue-Depth": str(self.pool.queue_depth),
+                },
+            )
+        except DeadlineExceeded as error:
+            response = Response.error(
+                504, "deadline-exceeded", str(error)
             )
         except XmlParseError as error:
             response = Response.error(
@@ -327,6 +411,7 @@ class DiffServer:
         code = {
             404: "not-found",
             405: "method-not-allowed",
+            409: "idempotency-conflict",
             429: "overloaded",
             503: "draining",
         }.get(error.status, "bad-request")
@@ -336,15 +421,40 @@ class DiffServer:
 
     # -- pooled execution ----------------------------------------------------
 
-    async def run_job(self, fn, label: str = "job"):
-        """Submit ``fn`` to the pool and await its result.
+    async def run_job(self, fn, label: str = "job", deadline=None):
+        """Submit ``fn`` to the pool and await it within ``deadline``.
 
         :class:`PoolSaturated` propagates to :meth:`dispatch`, which
         turns it into the 429 + ``Retry-After`` load-shedding reply.
+
+        With a deadline the await is a *watchdog*: if the budget runs
+        out while the job is queued the pool drops it before dispatch
+        (its future resolves with the queued-stage
+        :class:`DeadlineExceeded`); if it runs out mid-execution the
+        request abandons the future — the response is an immediate 504
+        and the worker discards the result when the job body returns
+        (a thread cannot be interrupted, but no request ever waits
+        past its budget and no abandoned result is ever applied to a
+        response).
         """
         if self.draining:
             raise HttpError(503, "server is shutting down")
-        return await self.pool.submit(fn, label=label)
+        future = self.pool.submit(fn, label=label, deadline=deadline)
+        if deadline is None:
+            return await future
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), deadline.remaining()
+            )
+        except asyncio.TimeoutError:
+            if not future.cancel() and not future.cancelled():
+                future.exception()  # lost the race: consume, don't warn
+            self._deadline_total.inc(stage="running", label=label)
+            raise DeadlineExceeded(
+                f"deadline expired after {deadline.budget:g}s "
+                f"while running",
+                stage="running",
+            ) from None
 
     # -- trace sampling ------------------------------------------------------
 
@@ -400,6 +510,11 @@ class ServerHandle:
         self.thread = thread
         self.host = host
         self.port = port
+        # Cross-thread waits are bounded by the request budget, not a
+        # hardcoded constant: nothing on the loop may legitimately run
+        # longer than max_deadline, so budget + slack means "wedged",
+        # not "slow".
+        self.op_timeout = server.config.max_deadline + 30.0
 
     def url(self, path: str = "/") -> str:
         return f"http://{self.host}:{self.port}{path}"
@@ -407,7 +522,7 @@ class ServerHandle:
     def run_coroutine(self, coroutine):
         """Run a coroutine on the server loop; returns its result."""
         future = asyncio.run_coroutine_threadsafe(coroutine, self.loop)
-        return future.result(timeout=60)
+        return future.result(timeout=self.op_timeout)
 
     def submit_job(self, fn, label: str = "job"):
         """Enqueue a raw pool job from any thread (test hook).
@@ -442,7 +557,7 @@ class ServerHandle:
         if self.thread.is_alive():
             self.run_coroutine(self.server.shutdown())
             self.loop.call_soon_threadsafe(self._stop_event.set)
-            self.thread.join(timeout=30)
+            self.thread.join(timeout=self.op_timeout)
 
 
 def serve_in_thread(

@@ -1,0 +1,119 @@
+"""Request deadlines: the time budget a request is allowed to consume.
+
+A production diff service cannot let one slow (or hung) diff occupy a
+worker indefinitely — the paper's setting is a warehouse ingesting
+documents continuously, where a stuck change-detection job must turn
+into a bounded, explicit failure instead of creeping queue collapse.
+Every request therefore carries a :class:`Deadline`:
+
+- the operator sets a **default budget** (``--default-deadline``) and a
+  **hard ceiling** (``--max-deadline``);
+- a client may ask for less (or more, up to the ceiling) with the
+  ``X-Repro-Deadline-Ms`` request header;
+- the deadline travels with the job through the
+  :class:`~repro.server.pool.WorkerPool`: a job whose budget expired
+  while it waited in the queue is *dropped without ever dispatching*
+  (504, a worker never touches it), and a job that is still running
+  when the budget runs out is abandoned by the request side (504; the
+  worker thread finishes the computation and discards the result — a
+  Python thread cannot be killed, but the *request* never waits past
+  its budget and the slot frees as soon as the job body returns).
+
+Deadlines are measured on the monotonic clock; ``clock`` is injectable
+so tests can freeze time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.xmlkit.errors import ReproError
+
+__all__ = ["Deadline", "DeadlineExceeded", "DEADLINE_HEADER", "DEADLINE_HELP"]
+
+#: Request header carrying the client's budget, in milliseconds.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
+#: Shared help string so pool and server register the *same* counter.
+DEADLINE_HELP = (
+    "Requests whose deadline budget ran out, by stage "
+    "(queued: dropped before dispatch; running: abandoned mid-job)."
+)
+
+
+class DeadlineExceeded(ReproError):
+    """The request's time budget ran out (HTTP 504).
+
+    ``stage`` says where the budget died: ``"queued"`` (the job was
+    dropped before a worker ever saw it) or ``"running"`` (the job was
+    dispatched but did not finish in time).
+    """
+
+    def __init__(self, message: str, *, stage: str = "running"):
+        super().__init__(message)
+        self.stage = stage
+
+
+class Deadline:
+    """A monotonic-clock expiry point with a recorded total budget."""
+
+    __slots__ = ("budget", "expires_at", "_clock")
+
+    def __init__(
+        self,
+        budget: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if budget <= 0:
+            raise ValueError("deadline budget must be > 0 seconds")
+        self.budget = budget
+        self._clock = clock
+        self.expires_at = clock() + budget
+
+    @classmethod
+    def from_header(
+        cls,
+        raw: Optional[str],
+        *,
+        default: float,
+        maximum: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """Budget from an ``X-Repro-Deadline-Ms`` header value.
+
+        ``None`` (no header) uses the server default; anything else is
+        parsed as integer milliseconds and **clamped** to ``maximum`` —
+        a client cannot buy more time than the operator allows.  A
+        malformed or non-positive value raises ``ValueError`` (the
+        server answers 400: the client asked for something meaningless,
+        silently substituting a default would hide the bug).
+        """
+        if raw is None:
+            return cls(min(default, maximum), clock=clock)
+        try:
+            millis = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{DEADLINE_HEADER} must be integer milliseconds, "
+                f"got {raw!r}"
+            ) from None
+        if millis <= 0:
+            raise ValueError(
+                f"{DEADLINE_HEADER} must be > 0, got {millis}"
+            )
+        return cls(min(millis / 1000.0, maximum), clock=clock)
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.expires_at - self._clock())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(budget={self.budget:g}, "
+            f"remaining={self.remaining():.3f})"
+        )

@@ -25,7 +25,14 @@ from dataclasses import dataclass, field
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
-__all__ = ["HttpError", "Request", "Response", "read_request"]
+__all__ = [
+    "API_HEADERS",
+    "HttpError",
+    "Request",
+    "Response",
+    "read_request",
+    "status_reasons",
+]
 
 #: Hard limits, generous for XML documents but bounded.
 MAX_REQUEST_LINE = 8192
@@ -38,14 +45,33 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
-    408: "Request Timeout",
+    409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: Every non-standard header the API reads or writes, in one place.
+#: ``tools/check_docs.py`` diffs this against the headers documented in
+#: ``docs/server.md`` (both directions), so a header cannot be added,
+#: renamed or dropped without the reference following.
+API_HEADERS = (
+    "Idempotency-Key",
+    "Retry-After",
+    "X-Repro-Deadline-Ms",
+    "X-Repro-Idempotent-Replay",
+    "X-Repro-Queue-Depth",
+    "X-Repro-Span-Id",
+)
+
+
+def status_reasons() -> dict[int, str]:
+    """The status codes the server can emit (docs drift-check hook)."""
+    return dict(_REASONS)
 
 
 class HttpError(Exception):

@@ -35,6 +35,7 @@ import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Optional
 
+from repro.server.deadline import DEADLINE_HELP, Deadline, DeadlineExceeded
 from repro.xmlkit.errors import ReproError
 
 __all__ = ["PoolSaturated", "WorkerPool"]
@@ -48,12 +49,19 @@ class PoolSaturated(ReproError):
 
 
 class _Job:
-    __slots__ = ("fn", "future", "label")
+    __slots__ = ("fn", "future", "label", "deadline")
 
-    def __init__(self, fn: Callable[[], object], future, label: str):
+    def __init__(
+        self,
+        fn: Callable[[], object],
+        future,
+        label: str,
+        deadline: Optional[Deadline] = None,
+    ):
         self.fn = fn
         self.future = future
         self.label = label
+        self.deadline = deadline
 
 
 class WorkerPool:
@@ -103,6 +111,7 @@ class WorkerPool:
         self._batch_hist = None
         self._executed_total = None
         self._rejected_total = None
+        self._deadline_total = None
         if metrics is not None:
             self._depth_gauge = metrics.gauge(
                 "repro_server_queue_depth",
@@ -120,6 +129,9 @@ class WorkerPool:
             self._rejected_total = metrics.counter(
                 "repro_server_rejected_total",
                 help="Jobs rejected because the queue was full.",
+            )
+            self._deadline_total = metrics.counter(
+                "repro_deadline_exceeded_total", help=DEADLINE_HELP
             )
 
     # -- lifecycle -----------------------------------------------------------
@@ -180,9 +192,17 @@ class WorkerPool:
         return self._accepting
 
     def submit(
-        self, fn: Callable[[], object], label: str = "job"
+        self,
+        fn: Callable[[], object],
+        label: str = "job",
+        deadline: Optional[Deadline] = None,
     ) -> asyncio.Future:
         """Enqueue ``fn``; resolve the returned future with its result.
+
+        A ``deadline`` travels with the job: if it expires while the
+        job is still queued, the job is dropped *before dispatch* and
+        its future resolves with :class:`DeadlineExceeded` — a worker
+        thread never touches it.
 
         Raises:
             PoolSaturated: ``queue_limit`` jobs are already waiting.
@@ -198,7 +218,7 @@ class WorkerPool:
                 f"({self.queue_limit} jobs waiting)"
             )
         future = asyncio.get_event_loop().create_future()
-        self._queue.put_nowait(_Job(fn, future, label))
+        self._queue.put_nowait(_Job(fn, future, label, deadline))
         self._idle.clear()
         if self._depth_gauge is not None:
             self._depth_gauge.set(self._queue.qsize())
@@ -206,19 +226,47 @@ class WorkerPool:
 
     # -- workers -------------------------------------------------------------
 
+    def _expire(self, job: _Job) -> None:
+        """Drop a job whose deadline ran out before dispatch (504)."""
+        if self._deadline_total is not None:
+            self._deadline_total.inc(stage="queued", label=job.label)
+        if self._executed_total is not None:
+            self._executed_total.inc(outcome="expired", label=job.label)
+        if not job.future.cancelled():
+            job.future.set_exception(
+                DeadlineExceeded(
+                    f"deadline expired after "
+                    f"{job.deadline.budget:g}s while queued",
+                    stage="queued",
+                )
+            )
+        self._queue.task_done()
+
     async def _worker(self) -> None:
         loop = asyncio.get_event_loop()
         while True:
             job = await self._queue.get()
-            batch = [job]
-            while len(batch) < self.batch_max:
+            taken = [job]
+            while len(taken) < self.batch_max:
                 try:
-                    batch.append(self._queue.get_nowait())
+                    taken.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            self._inflight += len(batch)
+            # Deadline-expired jobs are shed here, before dispatch:
+            # they never occupy a batch slot or a worker thread.
+            batch = []
+            for job in taken:
+                if job.deadline is not None and job.deadline.expired:
+                    self._expire(job)
+                else:
+                    batch.append(job)
             if self._depth_gauge is not None:
                 self._depth_gauge.set(self._queue.qsize())
+            if not batch:
+                if self._inflight == 0 and self._queue.empty():
+                    self._idle.set()
+                continue
+            self._inflight += len(batch)
             if self._batch_hist is not None:
                 self._batch_hist.observe(len(batch))
             try:
@@ -234,9 +282,14 @@ class WorkerPool:
                 # ever touched from one thread (it has no locking).
                 if self._executed_total is not None:
                     self._executed_total.inc(
-                        outcome="ok" if ok else "error", label=job.label
+                        outcome=(
+                            "ok"
+                            if ok
+                            else "abandoned" if ok is None else "error"
+                        ),
+                        label=job.label,
                     )
-                if job.future.cancelled():
+                if job.future.cancelled() or ok is None:
                     continue
                 if ok:
                     job.future.set_result(value)
@@ -248,10 +301,21 @@ class WorkerPool:
             if self._inflight == 0 and self._queue.empty():
                 self._idle.set()
 
-    def _run_batch(self, batch: list[_Job]) -> list[tuple[bool, object]]:
-        """Run every job of one batch on this worker thread."""
-        outcomes: list[tuple[bool, object]] = []
+    def _run_batch(self, batch: list[_Job]) -> list:
+        """Run every job of one batch on this worker thread.
+
+        A job whose caller already gave up (the request-side watchdog
+        cancelled the future) is skipped entirely — executing it would
+        apply work the client was told timed out.  Skipped jobs report
+        ``(None, None)`` and are tagged ``outcome="abandoned"``.
+        """
+        outcomes: list = []
         for job in batch:
+            if job.future.cancelled() or (
+                job.deadline is not None and job.deadline.expired
+            ):
+                outcomes.append((None, None))
+                continue
             try:
                 if self.fault_hook is not None:
                     self.fault_hook.on_job(job.label)

@@ -30,16 +30,25 @@ from typing import Callable, Optional
 from urllib.parse import unquote
 
 from repro.server.http import HttpError, Request, Response
+from repro.server.idempotency import (
+    IDEMPOTENCY_HEADER,
+    REPLAY_HEADER,
+    body_digest,
+)
 
 __all__ = ["ROUTES", "Route", "RequestObs", "match_route", "route_table"]
 
 
 @dataclass
 class RequestObs:
-    """Per-request observability state handed to every handler."""
+    """Per-request observability + budget state handed to every
+    handler."""
 
     tracer: Optional[object] = None  # a Tracer when this request sampled
     span: Optional[object] = None  # the open server.<route> root span
+    deadline: Optional[object] = None  # the request's Deadline (pooled
+    # routes only); handlers pass it into ``server.run_job`` so the
+    # budget covers queue wait *and* execution.
 
 
 @dataclass(frozen=True)
@@ -159,7 +168,7 @@ async def handle_diff(server, request: Request, params, obs) -> Response:
         }
         return body
 
-    result = await server.run_job(job, label="diff")
+    result = await server.run_job(job, label="diff", deadline=obs.deadline)
     return Response.json(result)
 
 
@@ -193,7 +202,7 @@ async def handle_explain(server, request: Request, params, obs) -> Response:
             operations.append(entry)
         return {"operations": operations}
 
-    result = await server.run_job(job, label="explain")
+    result = await server.run_job(job, label="explain", deadline=obs.deadline)
     return Response.json(result)
 
 
@@ -220,7 +229,7 @@ async def handle_audit(server, request: Request, params, obs) -> Response:
         body["max_unmatched"] = max_unmatched
         return body
 
-    result = await server.run_job(job, label="audit")
+    result = await server.run_job(job, label="audit", deadline=obs.deadline)
     return Response.json(result)
 
 
@@ -231,32 +240,98 @@ async def handle_audit(server, request: Request, params, obs) -> Response:
 
 async def handle_commit(server, request: Request, params, obs) -> Response:
     """POST /repos/{store}/commit — diff-and-append into a version
-    store (creates the document, at version 1, when it is new)."""
+    store (creates the document, at version 1, when it is new).
+
+    With an ``Idempotency-Key`` header the commit is retry-safe: a
+    repeat of an already-applied commit (same key, same body) replays
+    the recorded response instead of appending a second version —
+    first from the in-memory cache, then (cache cold: restart, crash,
+    TTL) from the ``last_commit`` record the store journals with the
+    commit itself.  The same key with a *different* body is a 409.
+    """
     payload = request.json()
     doc_id = _require(payload, "doc_id")
     document_text = _require(payload, "document")
-    store, lock = server.store_entry(params["store"])
+    store_name = params["store"]
+    store, lock = server.store_entry(store_name)
+
+    key = request.headers.get(IDEMPOTENCY_HEADER.lower())
+    digest = None
+    if key is not None:
+        if not key.strip() or len(key) > 255:
+            raise HttpError(
+                400,
+                f"{IDEMPOTENCY_HEADER} must be 1..255 non-blank "
+                "characters",
+            )
+        digest = body_digest(
+            doc_id.encode("utf-8"),
+            document_text.encode("utf-8"),
+            b"keep" if payload.get("keep_whitespace") else b"strip",
+        )
+        cached = server.idempotency.get(store_name, doc_id, key)
+        if cached is not None:
+            if cached.digest != digest:
+                raise HttpError(
+                    409,
+                    f"{IDEMPOTENCY_HEADER} {key!r} was already used "
+                    "with a different body",
+                )
+            server._replays_total.inc(source="cache")
+            return Response.json(
+                cached.payload,
+                status=cached.status,
+                headers={REPLAY_HEADER: "true"},
+            )
 
     def job():
         from repro.xmlkit.parser import parse
 
-        document = parse(
-            document_text,
-            strip_whitespace=not payload.get("keep_whitespace", False),
-            origin=f"request:{doc_id}",
-        )
         # One writer per store: commits serialize at the store door the
         # way ShardedRepository serializes per shard.
         with lock:
+            if key is not None and store.repository.exists(doc_id):
+                # Cache was cold but the store remembers: the journaled
+                # last_commit record survives restarts and crashes.
+                record = store.repository.last_commit(doc_id)
+                if record is not None and record.get("key") == key:
+                    if record.get("digest") != digest:
+                        raise HttpError(
+                            409,
+                            f"{IDEMPOTENCY_HEADER} {key!r} was already "
+                            "used with a different body",
+                        )
+                    version = int(record["version"])
+                    summary = {}
+                    if version > 1:
+                        summary = dict(sorted(
+                            store.delta(doc_id, version - 1)
+                            .summary().items()
+                        ))
+                    return {
+                        "doc_id": doc_id,
+                        "version": version,
+                        "created": version == 1,
+                        "summary": summary,
+                        "_replayed": "journal",
+                    }
+            document = parse(
+                document_text,
+                strip_whitespace=not payload.get("keep_whitespace", False),
+                origin=f"request:{doc_id}",
+            )
+            record = (
+                {"key": key, "digest": digest} if key is not None else None
+            )
             if store.repository.exists(doc_id):
-                delta = store.commit(doc_id, document)
+                delta = store.commit(doc_id, document, commit_record=record)
                 return {
                     "doc_id": doc_id,
                     "version": store.current_version(doc_id),
                     "created": False,
                     "summary": dict(sorted(delta.summary().items())),
                 }
-            store.create(doc_id, document)
+            store.create(doc_id, document, commit_record=record)
             return {
                 "doc_id": doc_id,
                 "version": 1,
@@ -264,9 +339,18 @@ async def handle_commit(server, request: Request, params, obs) -> Response:
                 "summary": {},
             }
 
-    result = await server.run_job(job, label="commit")
+    result = await server.run_job(job, label="commit", deadline=obs.deadline)
+    replayed = result.pop("_replayed", None)
+    headers = {}
+    if replayed is not None:
+        server._replays_total.inc(source=replayed)
+        headers[REPLAY_HEADER] = "true"
     status = 201 if result["created"] else 200
-    return Response.json(result, status=status)
+    if key is not None:
+        server.idempotency.put(
+            store_name, doc_id, key, digest, status, result
+        )
+    return Response.json(result, status=status, headers=headers)
 
 
 async def handle_docs(server, request: Request, params, obs) -> Response:
@@ -286,22 +370,26 @@ async def handle_docs(server, request: Request, params, obs) -> Response:
                 ]
             }
 
-    return Response.json(await server.run_job(job, label="read"))
+    return Response.json(
+        await server.run_job(job, label="read", deadline=obs.deadline)
+    )
 
 
 async def handle_doc(server, request: Request, params, obs) -> Response:
     """GET /repos/{store}/docs/{doc_id} — the current version."""
-    return await _serve_version(server, params, version=None)
+    return await _serve_version(server, params, obs, version=None)
 
 
 async def handle_version(server, request: Request, params, obs) -> Response:
     """GET /repos/{store}/docs/{doc_id}/versions/{version} — any stored
     version, reconstructed by backward delta replay when needed."""
     version = _int_param(params["version"], "version")
-    return await _serve_version(server, params, version=version)
+    return await _serve_version(server, params, obs, version=version)
 
 
-async def _serve_version(server, params, version: Optional[int]) -> Response:
+async def _serve_version(
+    server, params, obs, version: Optional[int]
+) -> Response:
     from repro.xmlkit.serializer import serialize
 
     store, lock = server.store_entry(params["store"])
@@ -321,7 +409,9 @@ async def _serve_version(server, params, version: Optional[int]) -> Response:
                 "xml": serialize(document),
             }
 
-    return Response.json(await server.run_job(job, label="read"))
+    return Response.json(
+        await server.run_job(job, label="read", deadline=obs.deadline)
+    )
 
 
 async def handle_history(server, request: Request, params, obs) -> Response:
@@ -346,7 +436,9 @@ async def handle_history(server, request: Request, params, obs) -> Response:
                 ],
             }
 
-    return Response.json(await server.run_job(job, label="read"))
+    return Response.json(
+        await server.run_job(job, label="read", deadline=obs.deadline)
+    )
 
 
 async def handle_changes(server, request: Request, params, obs) -> Response:
@@ -379,7 +471,9 @@ async def handle_changes(server, request: Request, params, obs) -> Response:
                 "delta": serialize_delta(delta),
             }
 
-    return Response.json(await server.run_job(job, label="read"))
+    return Response.json(
+        await server.run_job(job, label="read", deadline=obs.deadline)
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -24,11 +24,28 @@ write point (``"journal"``, ``"delta"``, ``"current"``, ``"manifest"``,
 The injector also works as a pure probe: with no failure configured it
 records every operation in :attr:`FaultInjector.ops`, which is how the
 crash-matrix test discovers how many crash points an ``append`` has.
+
+Beyond the storage write points, the injector powers the chaos harness
+(:mod:`repro.testing.chaos`):
+
+- **latency** — ``delay_ms``/``jitter_ms`` sleep every matching
+  operation by a seeded-random amount, modelling a slow disk or a
+  congested network without giving up determinism;
+- **repeating faults** — ``repeat=True`` re-arms after each firing
+  (``crash_after=4, repeat=True`` fails every fifth matching
+  operation, forever), which is what sustained-fault chaos scenarios
+  need; :attr:`fire_count` says how many times it fired;
+- **mid-response kills** — the server calls :meth:`on_response` just
+  before writing a reply; a fault there makes it send *half* the
+  payload and abort the connection, the failure shape that separates
+  clients that merely retry from clients that retry *idempotently*.
 """
 
 from __future__ import annotations
 
 import errno
+import random
+import time
 
 __all__ = [
     "FaultInjector",
@@ -70,11 +87,20 @@ class FaultInjector:
         mode: ``"crash"``, ``"eio"`` or ``"torn"`` (see module docs).
             A torn fault on an unlink degrades to a plain crash — there
             is no payload to tear.
+        repeat: Re-arm after each firing instead of firing once —
+            ``crash_after`` operations succeed between consecutive
+            failures (sustained-fault chaos scenarios).
+        delay_ms / jitter_ms: Sleep every matching operation for
+            ``delay_ms + uniform(0, jitter_ms)`` milliseconds
+            (latency injection; independent of the failure config).
+        seed: Seed for the jitter randomness — runs are reproducible.
+        sleep: Sleep function (injectable for virtual-time tests).
 
     Attributes:
         ops: ``(op, label)`` pairs of operations that *completed* (the
             faulted operation is not recorded).
-        fired: Whether the configured fault has fired.
+        fired: Whether the configured fault has fired at least once.
+        fire_count: Times the fault fired (interesting with ``repeat``).
     """
 
     MODES = ("crash", "eio", "torn")
@@ -85,6 +111,11 @@ class FaultInjector:
         *,
         label: str | None = None,
         mode: str = "crash",
+        repeat: bool = False,
+        delay_ms: float = 0.0,
+        jitter_ms: float = 0.0,
+        seed: int = 0,
+        sleep=time.sleep,
     ):
         if mode not in self.MODES:
             raise ValueError(
@@ -92,18 +123,29 @@ class FaultInjector:
             )
         if crash_after is not None and crash_after < 0:
             raise ValueError("crash_after must be >= 0")
+        if delay_ms < 0 or jitter_ms < 0:
+            raise ValueError("delay_ms / jitter_ms must be >= 0")
         self.crash_after = crash_after
         self.label = label
         self.mode = mode
+        self.repeat = repeat
+        self.delay_ms = delay_ms
+        self.jitter_ms = jitter_ms
+        self._rng = random.Random(seed)
+        self._seed = seed
+        self._sleep = sleep
         self.ops: list[tuple[str, str]] = []
         self.fired = False
+        self.fire_count = 0
         self._remaining = crash_after
 
     def reset(self) -> None:
         """Re-arm the injector and clear the operation log."""
         self.ops.clear()
         self.fired = False
+        self.fire_count = 0
         self._remaining = self.crash_after
+        self._rng = random.Random(self._seed)
 
     # -- hooks called by the storage layer -----------------------------------
 
@@ -116,10 +158,12 @@ class FaultInjector:
         half row committed to SQLite, say).  ``None`` keeps the
         filesystem default of writing half the payload to ``path``.
         """
+        self._maybe_delay(label)
         self._maybe_fail("write", label, path, data, tear)
         self.ops.append(("write", label))
 
     def on_unlink(self, label: str, path: str) -> None:
+        self._maybe_delay(label)
         self._maybe_fail("unlink", label, path, None, None)
         self.ops.append(("unlink", label))
 
@@ -130,13 +174,36 @@ class FaultInjector:
         (``label`` is the job label — ``"diff"``, ``"commit"``, ...)
         the same way ``on_write`` kills a storage write.
         """
+        self._maybe_delay(label)
         self._maybe_fail("job", label, "", None, None)
         self.ops.append(("job", label))
 
+    def on_response(self, label: str) -> None:
+        """Fault point before the server writes a response.
+
+        A fault here makes :class:`repro.server.app.DiffServer` send
+        half the payload and abort the connection — the
+        lost-acknowledgement failure shape idempotent retries exist
+        for.  Latency configured on the injector delays the response
+        instead.
+        """
+        self._maybe_delay(label)
+        self._maybe_fail("response", label, "", None, None)
+        self.ops.append(("response", label))
+
     # -- internals -----------------------------------------------------------
 
+    def _maybe_delay(self, label: str) -> None:
+        if self.delay_ms <= 0 and self.jitter_ms <= 0:
+            return
+        if self.label is not None and label != self.label:
+            return
+        self._sleep(
+            (self.delay_ms + self._rng.uniform(0.0, self.jitter_ms)) / 1000.0
+        )
+
     def _maybe_fail(self, op: str, label: str, path: str, data, tear) -> None:
-        if self.fired or self.crash_after is None:
+        if self.crash_after is None or (self.fired and not self.repeat):
             return
         if self.label is not None and label != self.label:
             return
@@ -144,6 +211,9 @@ class FaultInjector:
             self._remaining -= 1
             return
         self.fired = True
+        self.fire_count += 1
+        if self.repeat:
+            self._remaining = self.crash_after
         if self.mode == "eio":
             raise InjectedIOError(
                 f"injected EIO at {op} {label!r}", label=label, path=path

@@ -150,9 +150,24 @@ class RecoveryEvent:
 
 
 class Repository:
-    """Interface of a versioned document store."""
+    """Interface of a versioned document store.
 
-    def create(self, doc_id: str, document: Document, allocator: XidAllocator):
+    ``create`` and ``append`` accept an optional ``commit_record`` — an
+    idempotency marker (``{"key": ..., "digest": ...}``) persisted
+    *with* the commit, in the same journaled write, so a retried commit
+    can be recognised even across a crash.  :meth:`last_commit` reads
+    the record back (with the ``version`` it produced); a commit
+    without a record clears any previous one — the record always
+    describes the *latest* version or nothing.
+    """
+
+    def create(
+        self,
+        doc_id: str,
+        document: Document,
+        allocator: XidAllocator,
+        commit_record: Optional[dict] = None,
+    ):
         """Store version 1 of a new document."""
         raise NotImplementedError
 
@@ -200,9 +215,20 @@ class Repository:
         delta: Delta,
         new_document: Document,
         allocator: XidAllocator,
+        commit_record: Optional[dict] = None,
     ):
         """Advance a document by one version."""
         raise NotImplementedError
+
+    def last_commit(self, doc_id: str) -> Optional[dict]:
+        """The idempotency record of the latest commit, or ``None``.
+
+        The returned dict carries whatever the committer recorded
+        (``key``, ``digest``) plus ``version`` — the version that
+        commit produced.
+        """
+        self._check_exists(doc_id)
+        return None
 
     def verify(self, doc_id: str | None = None) -> list[Finding]:
         """Audit stored state; a backend without persistent state is
@@ -242,13 +268,18 @@ class MemoryRepository(Repository):
         self._deltas: dict[str, list[Delta]] = {}
         self._next_xid: dict[str, int] = {}
         self._snapshots: dict[tuple[str, int], Document] = {}
+        self._last_commit: dict[str, dict] = {}
 
-    def create(self, doc_id: str, document: Document, allocator: XidAllocator):
+    def create(
+        self, doc_id, document, allocator, commit_record=None
+    ):
         if doc_id in self._current:
             raise RepositoryError(f"document {doc_id!r} already exists")
         self._current[doc_id] = document.clone()
         self._deltas[doc_id] = []
         self._next_xid[doc_id] = allocator.next_xid
+        if commit_record is not None:
+            self._last_commit[doc_id] = dict(commit_record, version=1)
 
     def exists(self, doc_id: str) -> bool:
         return doc_id in self._current
@@ -278,11 +309,22 @@ class MemoryRepository(Repository):
             )
         return deltas[base_version - 1]
 
-    def append(self, doc_id, delta, new_document, allocator):
+    def append(self, doc_id, delta, new_document, allocator, commit_record=None):
         self._check_exists(doc_id)
         self._deltas[doc_id].append(delta)
         self._current[doc_id] = new_document.clone()
         self._next_xid[doc_id] = allocator.next_xid
+        if commit_record is not None:
+            self._last_commit[doc_id] = dict(
+                commit_record, version=len(self._deltas[doc_id]) + 1
+            )
+        else:
+            self._last_commit.pop(doc_id, None)
+
+    def last_commit(self, doc_id):
+        self._check_exists(doc_id)
+        record = self._last_commit.get(doc_id)
+        return dict(record) if record is not None else None
 
     def store_snapshot(self, doc_id, version, document):
         self._check_exists(doc_id)
@@ -446,7 +488,7 @@ class BackendRepository(Repository):
 
     # -- Repository interface ------------------------------------------------
 
-    def create(self, doc_id: str, document: Document, allocator: XidAllocator):
+    def create(self, doc_id, document, allocator, commit_record=None):
         if self.backend.exists(self._meta_key(doc_id)):
             raise RepositoryError(f"document {doc_id!r} already exists")
         meta = {
@@ -458,6 +500,8 @@ class BackendRepository(Repository):
             ),
             "xid_labels": _collect_xids(document),
         }
+        if commit_record is not None:
+            meta["last_commit"] = dict(commit_record, version=1)
         with self.backend.batch():
             digest = self.backend.put(
                 self._current_key(doc_id),
@@ -525,6 +569,10 @@ class BackendRepository(Repository):
     def load_allocator(self, doc_id: str) -> XidAllocator:
         return XidAllocator(int(self._load_meta(doc_id)["next_xid"]))
 
+    def last_commit(self, doc_id):
+        record = self._load_meta(doc_id).get("last_commit")
+        return dict(record) if record is not None else None
+
     def load_delta(self, doc_id: str, base_version: int) -> Delta:
         self._check_exists(doc_id)
         key = self._delta_key(doc_id, base_version)
@@ -546,7 +594,7 @@ class BackendRepository(Repository):
                 f"corrupt delta file {location}: {exc}", path=location
             ) from exc
 
-    def append(self, doc_id, delta, new_document, allocator):
+    def append(self, doc_id, delta, new_document, allocator, commit_record=None):
         span = None
         if self.tracer is not None:
             span = self.tracer.start_span("repo.append", doc_id=doc_id)
@@ -563,6 +611,16 @@ class BackendRepository(Repository):
             new_meta["current_version"] = version + 1
             new_meta["next_xid"] = allocator.next_xid
             new_meta["xid_labels"] = _collect_xids(new_document)
+            # The idempotency record commits (and clears) *with* the
+            # version it describes: it rides the journaled metadata, so
+            # roll-forward preserves it and roll-back discards it along
+            # with the half-commit it belonged to.
+            if commit_record is not None:
+                new_meta["last_commit"] = dict(
+                    commit_record, version=version + 1
+                )
+            else:
+                new_meta.pop("last_commit", None)
             new_manifest = {
                 "algorithm": "sha256",
                 "files": dict(manifest.get("files", {})),

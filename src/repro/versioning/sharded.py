@@ -223,12 +223,14 @@ class ShardedRepository(Repository):
 
     # -- Repository interface ------------------------------------------------
 
-    def create(self, doc_id, document, allocator):
+    def create(self, doc_id, document, allocator, commit_record=None):
         if self.exists(doc_id):
             raise RepositoryError(f"document {doc_id!r} already exists")
         home = self.shard_of(doc_id)
         with self._locks[home]:
-            self._repos[home].create(doc_id, document, allocator)
+            self._repos[home].create(
+                doc_id, document, allocator, commit_record=commit_record
+            )
 
     def exists(self, doc_id: str) -> bool:
         return self._locate(doc_id) is not None
@@ -254,12 +256,18 @@ class ShardedRepository(Repository):
     def load_delta(self, doc_id: str, base_version: int):
         return self._repo_of(doc_id).load_delta(doc_id, base_version)
 
-    def append(self, doc_id, delta, new_document, allocator):
+    def append(self, doc_id, delta, new_document, allocator, commit_record=None):
         index = self._locate(doc_id)
         if index is None:
             raise RepositoryError(f"unknown document {doc_id!r}")
         with self._locks[index]:
-            self._repos[index].append(doc_id, delta, new_document, allocator)
+            self._repos[index].append(
+                doc_id, delta, new_document, allocator,
+                commit_record=commit_record,
+            )
+
+    def last_commit(self, doc_id):
+        return self._repo_of(doc_id).last_commit(doc_id)
 
     def store_snapshot(self, doc_id, version, document):
         index = self._locate(doc_id)

@@ -95,12 +95,21 @@ class VersionStore:
 
     # -- writing ------------------------------------------------------------
 
-    def create(self, doc_id: str, document: Document) -> int:
+    def create(
+        self,
+        doc_id: str,
+        document: Document,
+        commit_record: Optional[dict] = None,
+    ) -> int:
         """Store ``document`` as version 1 of a new document; returns 1.
 
         Stored content is normalized to its XML-serializable form
         (adjacent text siblings coalesce — they could not survive the
         repository's serialization round trip anyway).
+
+        ``commit_record`` is an optional idempotency marker persisted
+        with the commit; see :class:`~repro.versioning.repository
+        .Repository`.
         """
         span = None
         if self.tracer is not None:
@@ -109,13 +118,20 @@ class VersionStore:
             working = document.clone(keep_xids=False)
             coalesce_text(working)
             allocator = assign_initial_xids(working)
-            self.repository.create(doc_id, working, allocator)
+            self.repository.create(
+                doc_id, working, allocator, commit_record=commit_record
+            )
         finally:
             if span is not None:
                 self.tracer.end_span(span)
         return 1
 
-    def commit(self, doc_id: str, new_document: Document) -> Delta:
+    def commit(
+        self,
+        doc_id: str,
+        new_document: Document,
+        commit_record: Optional[dict] = None,
+    ) -> Delta:
         """Diff the new version against the current one and append it.
 
         Returns the computed delta (empty if nothing changed — an empty
@@ -156,7 +172,10 @@ class VersionStore:
             self.last_stats = stats
             delta.base_version = base_version
             delta.target_version = delta.base_version + 1
-            self.repository.append(doc_id, delta, working, allocator)
+            self.repository.append(
+                doc_id, delta, working, allocator,
+                commit_record=commit_record,
+            )
             if self._commits_total is not None:
                 self._commits_total.inc(engine=stats.engine)
             if (

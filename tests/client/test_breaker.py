@@ -1,0 +1,107 @@
+"""CircuitBreaker state machine on an injected clock."""
+
+import pytest
+
+from repro.client import STATE_VALUES, CircuitBreaker
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def trip(breaker):
+    for _ in range(breaker.threshold):
+        breaker.record_failure()
+
+
+def test_stays_closed_below_threshold(clock):
+    breaker = CircuitBreaker(threshold=3, clock=clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_success_resets_the_consecutive_count(clock):
+    breaker = CircuitBreaker(threshold=2, clock=clock)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # never 2 in a row
+
+
+def test_threshold_failures_open_the_breaker(clock):
+    breaker = CircuitBreaker(threshold=3, reset_timeout=5.0, clock=clock)
+    trip(breaker)
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    clock.advance(4.9)
+    assert not breaker.allow()  # still inside the window
+
+
+def test_half_open_admits_exactly_one_probe(clock):
+    breaker = CircuitBreaker(threshold=1, reset_timeout=1.0, clock=clock)
+    trip(breaker)
+    clock.advance(1.0)
+    assert breaker.allow()  # the probe
+    assert breaker.state == "half_open"
+    assert not breaker.allow()  # anyone else waits for the verdict
+
+
+def test_probe_success_closes(clock):
+    breaker = CircuitBreaker(threshold=1, reset_timeout=1.0, clock=clock)
+    trip(breaker)
+    clock.advance(1.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_probe_failure_reopens_and_restarts_the_timer(clock):
+    breaker = CircuitBreaker(threshold=1, reset_timeout=1.0, clock=clock)
+    trip(breaker)
+    clock.advance(1.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock.advance(0.5)
+    assert not breaker.allow()  # timer restarted at the probe failure
+    clock.advance(0.5)
+    assert breaker.allow()
+
+
+def test_state_gauge_tracks_transitions(clock):
+    metrics = MetricsRegistry()
+    breaker = CircuitBreaker(
+        threshold=1, reset_timeout=1.0, clock=clock, metrics=metrics
+    )
+    gauge = metrics.gauge("repro_client_breaker_state")
+    assert gauge.value() == STATE_VALUES["closed"]
+    trip(breaker)
+    assert gauge.value() == STATE_VALUES["open"]
+    clock.advance(1.0)
+    breaker.allow()
+    assert gauge.value() == STATE_VALUES["half_open"]
+    breaker.record_success()
+    assert gauge.value() == STATE_VALUES["closed"]
+
+
+def test_constructor_validation(clock):
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_timeout=0)

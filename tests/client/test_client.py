@@ -1,0 +1,197 @@
+"""DiffClient retry/backoff behaviour against a scripted transport.
+
+``_attempt`` (one wire round trip) is replaced with a scripted fake, so
+every retry decision — what counts as retryable, what trips the
+breaker, how long the backoff sleeps — is asserted without a socket.
+The end-to-end pairing with a real server lives in the chaos harness
+tests.
+"""
+
+import random
+
+import pytest
+
+from repro.client import (
+    ApiError,
+    CircuitOpen,
+    DiffClient,
+    ServerUnavailable,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.server.idempotency import IDEMPOTENCY_HEADER, REPLAY_HEADER
+
+
+class ScriptedTransport:
+    """Feeds `_attempt` outcomes from a script; records every call.
+
+    Script entries are either an Exception instance (raised) or a
+    ``(status, headers, payload)`` tuple (returned).
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = []
+
+    def __call__(self, method, path, body, headers):
+        self.calls.append((method, path, body, dict(headers)))
+        outcome = self.script.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def make_client(script, **kwargs):
+    sleeps = []
+    kwargs.setdefault("rng", random.Random(7))
+    kwargs.setdefault("sleep", sleeps.append)
+    client = DiffClient("http://127.0.0.1:1", **kwargs)
+    transport = ScriptedTransport(script)
+    client._attempt = transport
+    return client, transport, sleeps
+
+
+OK = (200, {}, {"status": "ok"})
+
+
+def error(status, code="boom"):
+    return (status, {}, {"error": {"code": code, "message": "scripted"}})
+
+
+def test_get_retries_transport_errors_then_succeeds():
+    client, transport, sleeps = make_client(
+        [ConnectionRefusedError("no"), OSError("reset"), OK], retries=3
+    )
+    assert client.healthz() == {"status": "ok"}
+    assert len(transport.calls) == 3
+    assert len(sleeps) == 2
+
+
+def test_retries_exhausted_raises_server_unavailable_with_cause():
+    final = ConnectionRefusedError("still down")
+    client, transport, _ = make_client(
+        [ConnectionRefusedError("down"), final], retries=1
+    )
+    with pytest.raises(ServerUnavailable) as info:
+        client.healthz()
+    assert info.value.last_error is final
+    assert len(transport.calls) == 2
+
+
+def test_non_retryable_4xx_raises_immediately():
+    client, transport, sleeps = make_client(
+        [error(400, "bad-request"), OK], retries=3
+    )
+    with pytest.raises(ApiError) as info:
+        client.healthz()
+    assert info.value.status == 400
+    assert info.value.code == "bad-request"
+    assert len(transport.calls) == 1
+    assert sleeps == []
+
+
+@pytest.mark.parametrize("status", [429, 503, 504])
+def test_busy_statuses_are_retried(status):
+    client, transport, _ = make_client([error(status), OK], retries=2)
+    assert client.healthz() == {"status": "ok"}
+    assert len(transport.calls) == 2
+
+
+def test_post_without_idempotency_is_not_retried():
+    client, transport, _ = make_client(
+        [ConnectionRefusedError("down")], retries=3
+    )
+    with pytest.raises(ServerUnavailable):
+        client.request("POST", "/diff", {"old": "<a/>", "new": "<b/>"})
+    assert len(transport.calls) == 1  # a bare POST is not safe to repeat
+
+
+def test_backoff_is_capped_and_honours_retry_after_floor():
+    client, _, sleeps = make_client(
+        [
+            (429, {"Retry-After": "0.7"}, {"error": {}}),
+            error(503),
+            OK,
+        ],
+        retries=3,
+        backoff_base=0.1,
+        backoff_cap=0.4,
+    )
+    client.healthz()
+    assert sleeps[0] >= 0.7  # Retry-After raises the floor
+    assert sleeps[1] <= 0.4  # jittered, but never past the cap
+
+
+def test_retry_metric_counts_by_reason():
+    metrics = MetricsRegistry()
+    client, _, _ = make_client(
+        [OSError("reset"), error(503), OK], retries=3, metrics=metrics
+    )
+    client.healthz()
+    counter = metrics.counter("repro_client_retries_total")
+    assert counter.value(reason="transport") == 1
+    assert counter.value(reason="503") == 1
+
+
+def test_breaker_opens_on_consecutive_failures_and_fails_fast():
+    client, transport, _ = make_client(
+        [ConnectionRefusedError("down")] * 2,
+        retries=1,
+        breaker_threshold=2,
+    )
+    with pytest.raises(ServerUnavailable):
+        client.healthz()
+    assert client.breaker.state == "open"
+    with pytest.raises(CircuitOpen):
+        client.healthz()
+    assert len(transport.calls) == 2  # the open breaker touched no wire
+
+
+def test_504_does_not_trip_the_breaker_but_500_does():
+    client, _, _ = make_client(
+        [error(504)] * 2, retries=1, breaker_threshold=2
+    )
+    with pytest.raises(ServerUnavailable):
+        client.healthz()
+    assert client.breaker.state == "closed"  # deadline working as designed
+
+    client, _, _ = make_client(
+        [error(500)] * 2, retries=1, breaker_threshold=2
+    )
+    with pytest.raises(ServerUnavailable):
+        client.healthz()
+    assert client.breaker.state == "open"
+
+
+def test_commit_sends_stable_idempotency_key_across_retries():
+    client, transport, _ = make_client(
+        [ConnectionRefusedError("down"), (201, {}, {"version": 1})],
+        retries=2,
+    )
+    result = client.commit("main", "doc", "<a/>")
+    assert result == {"version": 1}
+    keys = {call[3][IDEMPOTENCY_HEADER] for call in transport.calls}
+    assert len(keys) == 1  # same key on every attempt
+    assert next(iter(keys))
+
+
+def test_commit_marks_replayed_responses():
+    client, _, _ = make_client(
+        [(200, {REPLAY_HEADER: "true"}, {"version": 2})]
+    )
+    result = client.commit("main", "doc", "<a/>", idempotency_key="k")
+    assert result == {"version": 2, "replayed": True}
+
+
+def test_deadline_header_is_attached_when_configured():
+    from repro.server.deadline import DEADLINE_HEADER
+
+    client, transport, _ = make_client([OK], deadline_ms=1500)
+    client.healthz()
+    assert transport.calls[0][3][DEADLINE_HEADER] == "1500"
+
+
+def test_rejects_non_http_base_url():
+    with pytest.raises(ValueError):
+        DiffClient("ftp://example.com")
+    with pytest.raises(ValueError):
+        DiffClient("127.0.0.1:8080")

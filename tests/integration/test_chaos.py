@@ -1,0 +1,36 @@
+"""The chaos harness run as a test: faults on, invariants must hold.
+
+Each scenario boots a real server with an armed fault injector and
+drives it with concurrent retrying clients; see
+:mod:`repro.testing.chaos` for the invariant definitions.  CI's chaos
+job runs the same matrix through the CHAOS benchmark — this test keeps
+the harness honest inside the plain unit-test tier with the two
+highest-signal scenarios (a lost acknowledgement, a failing disk).
+"""
+
+import pytest
+
+from repro.testing.chaos import default_scenarios, run_scenario
+
+SCENARIOS = {
+    scenario.name: scenario for scenario in default_scenarios(seed=11)
+}
+
+
+@pytest.mark.parametrize("name", ["response-kill", "storage-eio"])
+def test_invariants_hold_under_sustained_faults(name):
+    report = run_scenario(SCENARIOS[name])
+    assert report.faults_fired > 0, "the scenario never actually failed"
+    assert report.requests == report.acked + report.clean_failures
+    assert report.lost_commits == 0, report.to_dict()
+    assert report.duplicate_commits == 0, report.to_dict()
+    assert report.unanswered == 0, report.to_dict()
+    assert report.breaker_recovered, report.to_dict()
+
+
+def test_response_kill_exercises_idempotent_replay():
+    """The lost-acknowledgement scenario must actually produce replays —
+    otherwise it is not testing what it claims to test."""
+    report = run_scenario(SCENARIOS["response-kill"])
+    assert report.replays > 0
+    assert report.invariants_hold, report.to_dict()

@@ -25,7 +25,7 @@ from repro.obs.bench import (
 )
 
 ALL_EXPERIMENTS = ["FIG4", "FIG5", "FIG6", "SITE", "COMP", "QUAL", "ABL",
-                   "STORE", "SHARD", "SERVE"]
+                   "STORE", "SHARD", "SERVE", "CHAOS"]
 
 
 class TestRegistry:

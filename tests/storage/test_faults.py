@@ -90,3 +90,68 @@ class TestFaultInjector:
             FaultInjector(mode="lightning")
         with pytest.raises(ValueError):
             FaultInjector(crash_after=-1)
+
+
+class TestChaosExtensions:
+    """repeat re-arming, latency injection, the on_response hook."""
+
+    def test_repeat_rearms_after_each_firing(self, tmp_path):
+        faults = FaultInjector(crash_after=1, repeat=True)
+        fired = 0
+        for _ in range(6):
+            try:
+                atomic_write(tmp_path / "a", b"1", faults=faults)
+            except InjectedCrash:
+                fired += 1
+        # one success between consecutive failures: s f s f s f
+        assert fired == 3
+        assert faults.fire_count == 3
+
+    def test_delay_sleeps_matching_operations_only(self, tmp_path):
+        slept = []
+        faults = FaultInjector(
+            delay_ms=10.0, jitter_ms=20.0, label="slow",
+            seed=3, sleep=slept.append,
+        )
+        faults.on_job("fast")
+        assert slept == []
+        faults.on_job("slow")
+        assert len(slept) == 1
+        assert 0.010 <= slept[0] <= 0.030
+
+    def test_delay_is_seeded_and_reproducible(self):
+        def run():
+            slept = []
+            faults = FaultInjector(
+                delay_ms=1.0, jitter_ms=50.0, seed=9, sleep=slept.append
+            )
+            for _ in range(5):
+                faults.on_write("w", "p", b"x")
+            return slept
+
+        assert run() == run()
+
+    def test_on_response_is_a_fault_point(self):
+        faults = FaultInjector(crash_after=2, label="response")
+        faults.on_response("response")
+        faults.on_response("response")
+        with pytest.raises(InjectedCrash):
+            faults.on_response("response")
+        assert faults.ops == [("response", "response")] * 2
+
+    def test_reset_reseeds_the_jitter_stream(self):
+        slept = []
+        faults = FaultInjector(
+            delay_ms=1.0, jitter_ms=50.0, seed=4, sleep=slept.append
+        )
+        faults.on_job("j")
+        first = slept[0]
+        faults.reset()
+        faults.on_job("j")
+        assert slept[1] == first
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(delay_ms=-1)
+        with pytest.raises(ValueError):
+            FaultInjector(jitter_ms=-1)

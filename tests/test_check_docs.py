@@ -18,6 +18,31 @@ def check_docs():
     return module
 
 
+def _in_sync_server_page(skip_header=None, skip_status=None) -> str:
+    """A minimal server.md that satisfies every drift check.
+
+    ``skip_header``/``skip_status`` punch one hole for the
+    drift-detection tests.
+    """
+    from repro.server import API_HEADERS, route_table, status_reasons
+
+    lines = [
+        f"| `{method} {pattern}` | req | resp |"
+        for method, pattern in route_table()
+    ]
+    lines += [
+        f"| `{header}` | — |"
+        for header in API_HEADERS
+        if header != skip_header
+    ]
+    lines += [
+        f"| `{code}` | {reason} |"
+        for code, reason in status_reasons().items()
+        if code != skip_status
+    ]
+    return "\n".join(lines) + "\n"
+
+
 class TestRepoDocs:
     def test_the_repo_documentation_is_clean(self, check_docs, capsys):
         assert check_docs.main() == 0
@@ -127,15 +152,45 @@ class TestDriftDetection:
                    for p in problems)
 
     def test_endpoint_table_in_sync_passes(self, check_docs, tmp_path):
-        from repro.server import route_table
-
         docs = tmp_path / "docs"
         docs.mkdir()
-        rows = [
-            f"| `{method} {pattern}` | req | resp |"
-            for method, pattern in route_table()
-        ]
-        (docs / "server.md").write_text("\n".join(rows) + "\n")
+        (docs / "server.md").write_text(_in_sync_server_page())
         problems = []
         check_docs.check_server_docs(docs, problems)
         assert problems == []
+
+    def test_header_drift_flagged_both_directions(
+        self, check_docs, tmp_path
+    ):
+        from repro.server import API_HEADERS
+
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        # Drop a declared header, invent an undeclared one.
+        dropped = sorted(API_HEADERS)[0]
+        page = _in_sync_server_page(skip_header=dropped)
+        page += "\nAlso consider `X-Repro-Phantom`.\n"
+        (docs / "server.md").write_text(page)
+        problems = []
+        check_docs.check_server_docs(docs, problems)
+        assert any(dropped in p and "never documented" in p
+                   for p in problems)
+        assert any("X-Repro-Phantom" in p and "not" in p for p in problems)
+
+    def test_status_code_drift_flagged_both_directions(
+        self, check_docs, tmp_path
+    ):
+        from repro.server import status_reasons
+
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        dropped = sorted(status_reasons())[-1]
+        page = _in_sync_server_page(skip_status=dropped)
+        page += "\n| `999` | never happens |\n"
+        (docs / "server.md").write_text(page)
+        problems = []
+        check_docs.check_server_docs(docs, problems)
+        assert any(str(dropped) in p and "missing from the status-code"
+                   in p for p in problems)
+        assert any("999" in p and "does not declare" in p
+                   for p in problems)

@@ -20,6 +20,10 @@ Three classes of drift, all fatal:
    docs/server.md must list exactly the routes ``repro.server``
    registers (``route_table()``), in both directions: no documented
    endpoint the server lacks, no served endpoint the docs omit.
+6. **Header and status-code drift** — docs/server.md must mention every
+   header in ``repro.server.API_HEADERS`` and must not name an API
+   header the code does not declare; its status-code table must equal
+   ``repro.server.status_reasons()`` in both directions.
 
 Usage: ``python tools/check_docs.py`` (from anywhere; exits 1 on drift).
 """
@@ -45,6 +49,15 @@ SCHEME_RE = re.compile(r"\b([a-z][a-z0-9+.-]*)://")
 ENDPOINT_ROW_RE = re.compile(
     r"^\|\s*`(GET|POST|PUT|PATCH|DELETE)\s+(/[^`]*)`", re.MULTILINE
 )
+#: Backticked API-header mentions in docs/server.md: the `X-Repro-*`
+#: namespace plus the two standard headers the API gives meaning to.
+HEADER_TOKEN_RE = re.compile(
+    r"`(X-Repro-[A-Za-z-]+|Idempotency-Key|Retry-After)(?::[^`]*)?`"
+)
+#: A status-table row: first cell is one or more backticked codes
+#: (`200` / `201`).
+STATUS_ROW_RE = re.compile(r"^\|\s*((?:`\d{3}`(?:\s*/\s*)?)+)\s*\|",
+                           re.MULTILINE)
 #: URL schemes that are links, not store addresses.
 WEB_SCHEMES = {"http", "https", "mailto"}
 
@@ -186,6 +199,39 @@ def check_server_docs(docs_dir: pathlib.Path, problems: list[str]) -> None:
         problems.append(
             f"docs/server.md: endpoint `{method} {pattern}` is "
             "served but missing from the endpoint table"
+        )
+
+    from repro.server import API_HEADERS, status_reasons
+
+    text = page.read_text()
+    mentioned = set(HEADER_TOKEN_RE.findall(text))
+    declared = set(API_HEADERS)
+    for header in sorted(declared - mentioned):
+        problems.append(
+            f"docs/server.md: API header {header!r} is declared in "
+            "repro.server.API_HEADERS but never documented"
+        )
+    for header in sorted(mentioned - declared):
+        problems.append(
+            f"docs/server.md: header {header!r} is documented but not "
+            "declared in repro.server.API_HEADERS"
+        )
+
+    documented_codes = {
+        int(code)
+        for row in STATUS_ROW_RE.findall(text)
+        for code in re.findall(r"\d{3}", row)
+    }
+    real_codes = set(status_reasons())
+    for code in sorted(real_codes - documented_codes):
+        problems.append(
+            f"docs/server.md: status {code} can be emitted but is "
+            "missing from the status-code table"
+        )
+    for code in sorted(documented_codes - real_codes):
+        problems.append(
+            f"docs/server.md: status {code} is documented but "
+            "repro.server.status_reasons() does not declare it"
         )
 
 
