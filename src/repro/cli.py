@@ -15,7 +15,11 @@ Subcommands mirror the library's main capabilities:
 - ``generate``          — emit a synthetic document (generic or catalog).
 - ``simulate DOC``      — run the change simulator, emit the new version
   and/or the perfect delta.
-- ``obs render TRACE``  — pretty-print a saved JSON-lines trace.
+- ``obs render TRACE``  — pretty-print a saved JSON-lines trace
+  (``--request-id`` filters the server's multi-request ``traces.jsonl``).
+- ``obs flame FOLDED``  — render folded stacks as a flamegraph SVG.
+- ``profile OLD NEW``   — sample the diff with the built-in sampling
+  profiler, emit folded stacks (``--svg`` renders them directly).
 - ``fsck STORE``        — check (and repair) a version store; STORE is a
   store URL (``file://``, ``sqlite://``, ``blob://``,
   ``shard://PATH?shards=N&backend=SCHEME``) or a bare path.
@@ -54,6 +58,7 @@ from repro.core.deltaxml import (
 )
 from repro.core.diff import diff, diff_with_stats
 from repro.engine import available_engines
+from repro.obs.log import LEVELS as _EVENT_LEVELS
 from repro.simulator.change_simulator import SimulatorConfig, simulate_changes
 from repro.simulator.generator import (
     GeneratorConfig,
@@ -66,6 +71,10 @@ from repro.xmlkit.parser import parse
 from repro.xmlkit.serializer import serialize
 
 __all__ = ["main"]
+
+_LOG_LEVEL_CHOICES = tuple(
+    sorted(_EVENT_LEVELS, key=_EVENT_LEVELS.get)
+)
 
 
 def _read(path: str) -> str:
@@ -683,16 +692,111 @@ def _cmd_aggregate(args) -> int:
     return 0
 
 
+def _trace_groups(text: str) -> tuple[list, dict]:
+    """Trace lines grouped by their ``request_id`` tag, first-seen order.
+
+    The server's rotating ``traces.jsonl`` concatenates many sampled
+    requests whose span ids collide; the per-line request id is what
+    keeps their trees apart.  Unparseable lines group under ``None`` so
+    :func:`load_trace` reports them with its usual diagnostics.
+    """
+    order: list = []
+    groups: dict = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            request_id = json.loads(line).get("request_id")
+        except json.JSONDecodeError:
+            request_id = None
+        if request_id not in groups:
+            order.append(request_id)
+            groups[request_id] = []
+        groups[request_id].append(line)
+    return order, groups
+
+
 def _cmd_obs_render(args) -> int:
     from repro.obs import load_trace, render_trace
 
-    roots = load_trace(_read(args.trace_file))
+    text = _read(args.trace_file)
+    order, groups = _trace_groups(text)
+    if args.request_id is not None:
+        lines = groups.get(args.request_id)
+        if not lines:
+            print(f"no spans for request {args.request_id}",
+                  file=sys.stderr)
+            return 1
+        text = "\n".join(lines)
+    elif len(order) > 1:
+        # A multi-request file: render each request's tree under its id
+        # (span ids collide across concatenated requests, so the trees
+        # must be rebuilt per request).
+        sections = []
+        for request_id in order:
+            roots = load_trace("\n".join(groups[request_id]))
+            sections.append(f"request {request_id or '-'}")
+            sections.append(
+                render_trace(roots, show_attrs=not args.no_attrs)
+            )
+        _write(args.output, "\n".join(sections) + "\n")
+        return 0
+    roots = load_trace(text)
     if not roots:
         print("trace is empty", file=sys.stderr)
         return 1
     _write(
         args.output,
         render_trace(roots, show_attrs=not args.no_attrs) + "\n",
+    )
+    return 0
+
+
+def _cmd_obs_flame(args) -> int:
+    from repro.obs import flamegraph_svg, parse_folded
+
+    try:
+        counts = parse_folded(_read(args.folded_file))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not counts:
+        print("error: no samples in folded input", file=sys.stderr)
+        return 1
+    _write(args.output, flamegraph_svg(counts, title=args.title))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import time
+
+    from repro.obs import SamplingProfiler, flamegraph_svg
+
+    old = _load_document(args.old, args.keep_whitespace)
+    new = _load_document(args.new, args.keep_whitespace)
+    config = DiffConfig().validate()
+    profiler = SamplingProfiler(interval=args.interval)
+    iterations = 0
+    # Loop the diff until the time floor so the sampler accumulates a
+    # meaningful profile even on pairs that diff in microseconds.
+    with profiler.profile():
+        deadline = time.perf_counter() + args.min_seconds
+        while True:
+            delta = diff(old, new, config, engine=args.engine)
+            iterations += 1
+            if time.perf_counter() >= deadline:
+                break
+    folded = profiler.folded()
+    _write(args.output, folded + ("\n" if folded else ""))
+    if args.svg:
+        _write(args.svg, flamegraph_svg(folded, title=f"xydiff profile: "
+                                                      f"{args.old} vs "
+                                                      f"{args.new}"))
+    print(
+        f"profiled {iterations} diff iteration(s), "
+        f"{profiler.sample_count} stack sample(s), "
+        f"{len(delta.operations)} delta op(s)",
+        file=sys.stderr,
     )
     return 0
 
@@ -819,6 +923,8 @@ def _cmd_serve(args) -> int:
         max_deadline=args.max_deadline,
         trace_sample=args.trace_sample,
         trace_dir=args.trace_dir,
+        log_level=args.log_level,
+        log_out=args.log_out,
         durability=args.durability,
     )
 
@@ -1148,19 +1254,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(func=_cmd_aggregate)
 
     sub = subparsers.add_parser(
-        "obs", help="observability utilities (trace rendering)"
+        "obs", help="observability utilities (traces, flamegraphs)"
     )
     obs_sub = sub.add_subparsers(dest="obs_command", required=True)
     render = obs_sub.add_parser(
         "render", help="pretty-print a JSON-lines trace as a span tree"
     )
     render.add_argument("trace_file",
-                        help="trace file written by --trace "
+                        help="trace file written by --trace or the "
+                             "server's traces.jsonl "
                              "('-' reads stdin, like every other command)")
+    render.add_argument("--request-id", default=None, metavar="ID",
+                        help="only render spans tagged with this "
+                             "X-Repro-Request-Id (for the server's "
+                             "multi-request traces.jsonl)")
     render.add_argument("--no-attrs", action="store_true",
                         help="hide span attributes")
     render.add_argument("-o", "--output", default="-")
     render.set_defaults(func=_cmd_obs_render)
+
+    flame = obs_sub.add_parser(
+        "flame",
+        help="render folded stacks (from 'profile') as a flamegraph SVG",
+    )
+    flame.add_argument("folded_file",
+                       help="folded-stack file written by 'profile' "
+                            "('-' reads stdin)")
+    flame.add_argument("--title", default="flamegraph",
+                       help="SVG title (default: flamegraph)")
+    flame.add_argument("-o", "--output", default="-")
+    flame.set_defaults(func=_cmd_obs_flame)
 
     sub = subparsers.add_parser(
         "bench",
@@ -1236,13 +1359,40 @@ def build_parser() -> argparse.ArgumentParser:
                      help="trace every Nth pooled request and echo the "
                           "span id in X-Repro-Span-Id (default 0: off)")
     sub.add_argument("--trace-dir", default=None, metavar="DIR",
-                     help="write sampled span trees here as JSON lines "
-                          "(one file per sampled request)")
+                     help="append sampled span trees to DIR/traces.jsonl "
+                          "(rotating; each line carries its request id — "
+                          "filter with 'obs render --request-id')")
+    sub.add_argument("--log-level", choices=_LOG_LEVEL_CHOICES,
+                     default="info",
+                     help="threshold for structured events (default: info)")
+    sub.add_argument("--log-out", default=None, metavar="FILE",
+                     help="append structured events (repro.log/1 JSON "
+                          "lines) here; the in-memory ring behind GET "
+                          "/logz fills either way")
     sub.add_argument("--durability", choices=DURABILITY_LEVELS,
                      default="none",
                      help="write policy for store commits (default: none)")
     add_engine(sub)
     sub.set_defaults(func=_cmd_serve)
+
+    sub = subparsers.add_parser(
+        "profile",
+        help="sample the diff of two documents into folded stacks",
+    )
+    sub.add_argument("old")
+    sub.add_argument("new")
+    sub.add_argument("--interval", type=float, default=0.002,
+                     metavar="SECONDS",
+                     help="sampling interval (default 0.002)")
+    sub.add_argument("--min-seconds", type=float, default=0.5,
+                     metavar="SECONDS",
+                     help="keep re-running the diff until this much time "
+                          "has elapsed (default 0.5)")
+    sub.add_argument("--svg", default=None, metavar="FILE",
+                     help="also render the profile as a flamegraph SVG")
+    add_common(sub)
+    add_engine(sub)
+    sub.set_defaults(func=_cmd_profile)
 
     sub = subparsers.add_parser("generate", help="generate a synthetic doc")
     sub.add_argument("--kind", choices=("generic", "catalog"),

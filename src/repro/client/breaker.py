@@ -45,6 +45,9 @@ class CircuitBreaker:
         clock: Monotonic time source (injectable for tests).
         metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
             for the state gauge.
+        events: Optional :class:`~repro.obs.log.EventLogger`; every
+            actual state transition is logged as a ``client.breaker``
+            event (``from``/``to``).
     """
 
     def __init__(
@@ -53,6 +56,7 @@ class CircuitBreaker:
         reset_timeout: float = 5.0,
         clock: Callable[[], float] = time.monotonic,
         metrics=None,
+        events=None,
     ):
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
@@ -65,6 +69,7 @@ class CircuitBreaker:
         self.failures = 0
         self._opened_at = 0.0
         self._probe_in_flight = False
+        self.events = events
         self._gauge = None
         if metrics is not None:
             self._gauge = metrics.gauge(
@@ -75,9 +80,16 @@ class CircuitBreaker:
             self._gauge.set(0)
 
     def _set_state(self, state: str) -> None:
+        previous = self.state
         self.state = state
         if self._gauge is not None:
             self._gauge.set(STATE_VALUES[state])
+        # record_success re-asserts "closed" on every 2xx; only an
+        # actual transition is an event worth logging.
+        if self.events is not None and state != previous:
+            self.events.emit(
+                "client.breaker", **{"from": previous, "to": state}
+            )
 
     def allow(self) -> bool:
         """Whether a request may go out right now.

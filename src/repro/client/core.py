@@ -40,6 +40,12 @@ from typing import Callable, Optional
 from urllib.parse import quote, urlsplit
 
 from repro.client.breaker import CircuitBreaker
+from repro.obs.context import (
+    REQUEST_ID_HEADER,
+    RequestContext,
+    new_request_id,
+    use_context,
+)
 from repro.server.deadline import DEADLINE_HEADER
 from repro.server.idempotency import IDEMPOTENCY_HEADER, REPLAY_HEADER
 from repro.xmlkit.errors import ReproError
@@ -83,14 +89,27 @@ class ApiError(ClientError):
 
     Attributes mirror the wire error envelope: ``status`` (HTTP),
     ``code`` (machine-readable, e.g. ``deadline-exceeded``),
-    ``message``.
+    ``message``; ``request_id`` is the correlation id the failed
+    request carried, rendered into the exception text so an error
+    pasted into a bug report can be matched against the server's
+    event log and traces.
     """
 
-    def __init__(self, status: int, code: str, message: str):
-        super().__init__(f"{status} {code}: {message}")
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        request_id: Optional[str] = None,
+    ):
+        text = f"{status} {code}: {message}"
+        if request_id is not None:
+            text += f" [request {request_id}]"
+        super().__init__(text)
         self.status = status
         self.code = code
         self.message = message
+        self.request_id = request_id
 
 
 class DiffClient:
@@ -113,6 +132,12 @@ class DiffClient:
             clients).
         metrics: Optional registry for ``repro_client_retries_total``
             and the breaker state gauge.
+        events: Optional :class:`~repro.obs.log.EventLogger`; every
+            logical request logs a ``client.request`` event (on *every*
+            exit path — success, :class:`ApiError`,
+            :class:`ServerUnavailable`, :class:`CircuitOpen`), every
+            backoff a ``client.retry``, and breaker transitions a
+            ``client.breaker`` (when the breaker was built here).
         rng: Jitter source (seedable for determinism).
         sleep: Sleep function (injectable for virtual time).
     """
@@ -130,6 +155,7 @@ class DiffClient:
         breaker_threshold: int = 5,
         breaker_reset: float = 5.0,
         metrics=None,
+        events=None,
         rng: Optional[random.Random] = None,
         sleep: Callable[[float], None] = time.sleep,
     ):
@@ -145,10 +171,12 @@ class DiffClient:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.deadline_ms = deadline_ms
+        self.events = events
         self.breaker = breaker if breaker is not None else CircuitBreaker(
             threshold=breaker_threshold,
             reset_timeout=breaker_reset,
             metrics=metrics,
+            events=events,
         )
         self._rng = rng if rng is not None else random.Random()
         self._sleep = sleep
@@ -194,6 +222,14 @@ class DiffClient:
         except BaseException:
             self.close()
             raise
+        if response.getheader("Content-Length") is None:
+            # The server frames every response with Content-Length; a
+            # head without one is a torn response cut inside the header
+            # block (http.client parses EOF-terminated headers
+            # leniently, so the tear surfaces as a "complete" response
+            # with an empty body instead of an error).
+            self.close()
+            raise http.client.IncompleteRead(raw)
         if response.will_close:
             self.close()
         payload = {}
@@ -221,6 +257,14 @@ class DiffClient:
         ``retryable`` defaults to ``method == "GET"``; POSTs opt in
         when they are safe to repeat (a commit with an idempotency
         key).
+
+        Every logical call carries one ``X-Repro-Request-Id``, minted
+        here (or adopted from ``headers``) and **stable across every
+        retry attempt** — on the server side a whole retry storm
+        groups under a single id.  The id is active as the request
+        context while the call runs, so the event log correlates
+        client-side retries and breaker transitions with the
+        server-side record of the same request.
         """
         if retryable is None:
             retryable = method == "GET"
@@ -231,11 +275,33 @@ class DiffClient:
             send_headers["Content-Type"] = "application/json"
         if self.deadline_ms is not None:
             send_headers.setdefault(DEADLINE_HEADER, str(self.deadline_ms))
+        request_id = send_headers.setdefault(
+            REQUEST_ID_HEADER, new_request_id()
+        )
+        with use_context(RequestContext(request_id=request_id)):
+            return self._request_with_retries(
+                method, path, body, send_headers, retryable
+            )
 
+    def _log_request(self, method, path, status, attempts) -> None:
+        if self.events is not None:
+            self.events.emit(
+                "client.request",
+                method=method,
+                path=path,
+                status=status,
+                attempts=attempts,
+            )
+
+    def _request_with_retries(
+        self, method, path, body, send_headers, retryable
+    ):
+        request_id = send_headers[REQUEST_ID_HEADER]
         attempts = (self.retries + 1) if retryable else 1
         last_error = None
         for attempt in range(attempts):
             if not self.breaker.allow():
+                self._log_request(method, path, None, attempt)
                 raise CircuitOpen(
                     "circuit breaker is open — server marked unhealthy"
                 )
@@ -253,6 +319,7 @@ class DiffClient:
             else:
                 if status < 400:
                     self.breaker.record_success()
+                    self._log_request(method, path, status, attempt + 1)
                     return status, resp_headers, data
                 error_info = data.get("error", {}) if isinstance(
                     data, dict
@@ -261,6 +328,7 @@ class DiffClient:
                     status,
                     str(error_info.get("code", "unknown")),
                     str(error_info.get("message", "")),
+                    request_id=request_id,
                 )
                 if status >= 500 and status != 504:
                     # 504 is the server *working as designed* (a
@@ -269,7 +337,9 @@ class DiffClient:
                 else:
                     self.breaker.record_success()
                 if status not in RETRYABLE_STATUSES and status < 500:
-                    raise api_error  # 4xx: our request is wrong; no retry
+                    # 4xx: our request is wrong; no retry
+                    self._log_request(method, path, status, attempt + 1)
+                    raise api_error
                 last_error = api_error
                 reason = str(status)
                 retry_after = resp_headers.get("Retry-After")
@@ -277,7 +347,20 @@ class DiffClient:
                 break
             if self._retries_total is not None:
                 self._retries_total.inc(reason=reason)
+            if self.events is not None:
+                self.events.emit(
+                    "client.retry",
+                    reason=reason,
+                    attempt=attempt + 1,
+                    path=path,
+                )
             self._sleep(self._backoff(attempt, retry_after))
+        self._log_request(
+            method,
+            path,
+            last_error.status if isinstance(last_error, ApiError) else None,
+            attempts,
+        )
         raise ServerUnavailable(
             f"{method} {path} failed after {attempts} attempt(s): "
             f"{last_error}",
@@ -322,7 +405,10 @@ class DiffClient:
         supply one, which is what makes the retries sound: a commit
         whose response was lost is *replayed* by the server, never
         applied twice.  The response payload gains ``"replayed": True``
-        when the server answered from its idempotency record.
+        when the server answered from its idempotency record, and
+        ``"request_id"`` — the correlation id echoed by the server —
+        so a caller can tie an acked commit back to logs, traces and
+        the store's attribution record.
         """
         key = idempotency_key or uuid.uuid4().hex
         status, headers, payload = self.request(
@@ -338,6 +424,9 @@ class DiffClient:
         )
         if headers.get(REPLAY_HEADER, "").lower() == "true":
             payload = dict(payload, replayed=True)
+        request_id = headers.get(REQUEST_ID_HEADER)
+        if request_id is not None:
+            payload = dict(payload, request_id=request_id)
         return payload
 
     def documents(self, store: str) -> list[dict]:

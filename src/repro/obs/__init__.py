@@ -22,6 +22,17 @@ full span/metric catalogue and how each maps onto the paper's figures):
   :class:`ProvenanceReport` — the machinery behind ``xydiff explain
   --why`` and ``xydiff audit``.  :data:`NULL_RECORDER` is the
   zero-overhead default.
+- :mod:`repro.obs.context` — the propagated :class:`RequestContext`
+  (``X-Repro-Request-Id``) correlating client, server, pool and
+  storage telemetry for one request.
+- :mod:`repro.obs.log` — :class:`EventLogger`, the ring-buffered
+  structured event log (schema ``repro.log/1``) behind
+  ``GET /logz`` and ``xydiff serve --log-out``.
+- :mod:`repro.obs.pyprof` — :class:`SamplingProfiler`, a periodic
+  stack sampler emitting folded stacks, and :func:`flamegraph_svg`
+  (``xydiff profile`` / ``xydiff obs flame``).
+- :mod:`repro.obs.slo` — :func:`compute_slo`, latency percentiles and
+  error-budget burn from the metrics registry (``GET /slo``).
 
 Quick profile of a diff::
 
@@ -34,6 +45,15 @@ Quick profile of a diff::
     print(metrics.to_prometheus())  # scrape-ready text format
 """
 
+from repro.obs.context import (
+    REQUEST_ID_HEADER,
+    RequestContext,
+    current_context,
+    current_request_id,
+    new_request_id,
+    use_context,
+)
+from repro.obs.log import EVENT_CATALOG, EventLogger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -41,7 +61,9 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.pyprof import SamplingProfiler, flamegraph_svg, parse_folded
 from repro.obs.profiler import StageProfiler
+from repro.obs.slo import SloReport, compute_slo, histogram_quantile
 from repro.obs.provenance import (
     NULL_RECORDER,
     MatchRecorder,
@@ -63,6 +85,8 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "EVENT_CATALOG",
+    "EventLogger",
     "Gauge",
     "Histogram",
     "MatchRecorder",
@@ -73,10 +97,22 @@ __all__ = [
     "NullTracer",
     "ProvenanceRecorder",
     "ProvenanceReport",
+    "REQUEST_ID_HEADER",
+    "RequestContext",
+    "SamplingProfiler",
+    "SloReport",
     "Span",
     "StageProfiler",
     "Tracer",
     "build_report",
+    "compute_slo",
+    "current_context",
+    "current_request_id",
+    "flamegraph_svg",
+    "histogram_quantile",
     "load_trace",
+    "new_request_id",
+    "parse_folded",
     "publish_provenance_metrics",
+    "use_context",
 ]

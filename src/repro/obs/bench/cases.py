@@ -999,9 +999,12 @@ def _serve_cases(fast: bool) -> list[BenchCase]:
         def run(prepared, obs, clients=clients, per_client=per_client,
                 commit_every=commit_every):
             from repro.client import ClientError, DiffClient
+            from repro.obs.metrics import MetricsRegistry
+            from repro.obs.slo import compute_slo
             from repro.server import ServerConfig, serve_in_thread
 
             bodies = prepared
+            registry = MetricsRegistry()
             with tempfile.TemporaryDirectory() as tmp:
                 handle = serve_in_thread(
                     ServerConfig(
@@ -1010,7 +1013,8 @@ def _serve_cases(fast: bool) -> list[BenchCase]:
                         workers=2,
                         queue_limit=256,
                         batch_max=8,
-                    )
+                    ),
+                    metrics=registry,
                 )
                 latencies: list[list[float]] = [[] for _ in range(clients)]
                 errors = [0] * clients
@@ -1065,15 +1069,21 @@ def _serve_cases(fast: bool) -> list[BenchCase]:
                 handle.close()
             flat = [sample for per in latencies for sample in per]
             total = clients * per_client
+            # Server-side SLO view: the same arithmetic GET /slo serves,
+            # computed from the registry the server instrumented itself.
+            slo = compute_slo(registry)
             return {
-                # Gated: the served workload must stay error-free.
+                # Gated: the served workload must stay error-free and
+                # within the latency/error-budget envelope.
                 "http_errors": sum(errors),
                 "lost_responses": total - len(flat),
+                "p95_ms": slo.p95_ms,
+                "error_budget": slo.error_budget_burn,
                 # Informational (timing-derived, varies with hardware).
                 "requests": total,
                 "requests_per_second": round(total / elapsed, 1),
-                "p50_ms": round(_percentile(flat, 0.50) * 1e3, 2),
-                "p95_ms": round(_percentile(flat, 0.95) * 1e3, 2),
+                "client_p50_ms": round(_percentile(flat, 0.50) * 1e3, 2),
+                "client_p95_ms": round(_percentile(flat, 0.95) * 1e3, 2),
             }
 
         cases.append(
@@ -1089,7 +1099,12 @@ def _serve_cases(fast: bool) -> list[BenchCase]:
                     "corpus_pairs": pairs,
                     "workers": 2,
                 },
-                gated_quality=("http_errors", "lost_responses"),
+                gated_quality=(
+                    "http_errors",
+                    "lost_responses",
+                    "p95_ms",
+                    "error_budget",
+                ),
             )
         )
     return cases
@@ -1124,8 +1139,11 @@ register_experiment(
             "wall median gates end-to-end throughput; http_errors and "
             "lost_responses gate correctness (every request must get a "
             "2xx answer)",
-            "requests_per_second and the latency percentiles are "
-            "informational (timing-derived, not gated as quality)",
+            "p95_ms and error_budget are the server's own SLO view "
+            "(the GET /slo arithmetic over its request histograms) and "
+            "gate the latency/error-budget envelope",
+            "requests_per_second and the client-observed percentiles "
+            "are informational (timing-derived, not gated as quality)",
         ),
     )
 )
@@ -1151,6 +1169,8 @@ def _chaos_cases(fast: bool) -> list[BenchCase]:
                 "duplicate_commits": report.duplicate_commits,
                 "unanswered": report.unanswered,
                 "breaker_stuck": 0 if report.breaker_recovered else 1,
+                "orphan_events": report.orphan_events,
+                "unattributed_commits": report.unattributed_commits,
                 # Informational: the fault pressure actually exerted
                 # and how the stack absorbed it.
                 "requests": report.requests,
@@ -1176,6 +1196,8 @@ def _chaos_cases(fast: bool) -> list[BenchCase]:
                     "duplicate_commits",
                     "unanswered",
                     "breaker_stuck",
+                    "orphan_events",
+                    "unattributed_commits",
                 ),
                 # Wall time here is retry sleeps + fault-timing races,
                 # not a performance signal — the invariants gate.
@@ -1195,6 +1217,8 @@ def _chaos_summary(cases: list[dict]) -> dict:
             and case["quality"]["duplicate_commits"] == 0
             and case["quality"]["unanswered"] == 0
             and case["quality"]["breaker_stuck"] == 0
+            and case["quality"]["orphan_events"] == 0
+            and case["quality"]["unattributed_commits"] == 0
         ),
         "total_replays": sum(
             case["quality"]["replays"] for case in cases
@@ -1222,6 +1246,11 @@ register_experiment(
             "survives, retries never double-apply, every request "
             "fails typed, and the circuit breaker closes once faults "
             "stop",
+            "orphan_events and unattributed_commits are gated at zero "
+            "too — every acked commit's X-Repro-Request-Id appears in "
+            "the client event log, the server event log and the "
+            "store's attribution metadata, and the server never logs "
+            "an id no client issued (correlation survives the faults)",
             "replays and faults_fired are informational: they prove "
             "the faults actually exerted pressure (a chaos run where "
             "nothing fired proves nothing)",

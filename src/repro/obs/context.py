@@ -1,0 +1,113 @@
+"""Propagated request context: the correlation id that crosses seams.
+
+A :class:`RequestContext` carries one request's identity — the wire
+``X-Repro-Request-Id``, the root span id of a sampled trace, and the
+sampled flag — through every layer that touches the request:
+
+- :class:`repro.client.DiffClient` mints the id once per *logical*
+  request and sends it on every retry attempt, so a retry storm groups
+  under one id;
+- :class:`repro.server.DiffServer` adopts a valid incoming id (or
+  mints one), activates the context for the handler, and echoes the id
+  on every response;
+- :class:`repro.server.pool.WorkerPool` captures the active context at
+  submit time and re-activates it around the job body on the worker
+  thread — ``contextvars`` do **not** flow into executor threads by
+  themselves;
+- the storage layer (``VersionStore`` / ``BackendRepository``) tags
+  its spans and the journal-durable commit record with
+  :func:`current_request_id`.
+
+The carrier is a ``contextvars.ContextVar``, so nested asyncio tasks
+and ``with use_context(...)`` blocks compose without any explicit
+plumbing, and code that runs outside a request (the CLI, tests) simply
+sees ``None`` — zero overhead beyond one context-variable lookup.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import uuid
+from dataclasses import dataclass
+
+__all__ = [
+    "REQUEST_ID_HEADER",
+    "RequestContext",
+    "activate",
+    "current_context",
+    "current_request_id",
+    "deactivate",
+    "new_request_id",
+    "use_context",
+    "valid_request_id",
+]
+
+#: The wire header carrying the correlation id (request and response).
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
+
+#: Bounds on an adoptable id: printable ASCII, no whitespace, so a
+#: hostile or buggy client cannot smuggle log-breaking bytes into
+#: every telemetry surface downstream.
+MAX_REQUEST_ID_LENGTH = 128
+
+
+@dataclass
+class RequestContext:
+    """One request's correlation identity.
+
+    ``span_id`` / ``sampled`` are filled in by the server once trace
+    sampling decides whether this request runs with a tracer.
+    """
+
+    request_id: str
+    span_id: int | None = None
+    sampled: bool = False
+
+
+_CONTEXT: contextvars.ContextVar[RequestContext | None] = (
+    contextvars.ContextVar("repro_request_context", default=None)
+)
+
+
+def new_request_id() -> str:
+    """A fresh correlation id (32 lowercase hex chars)."""
+    return uuid.uuid4().hex
+
+
+def valid_request_id(value: str | None) -> bool:
+    """Whether ``value`` is safe to adopt as a correlation id."""
+    if not value or len(value) > MAX_REQUEST_ID_LENGTH:
+        return False
+    return all(33 <= ord(char) <= 126 for char in value)
+
+
+def current_context() -> RequestContext | None:
+    """The active :class:`RequestContext`, or ``None`` outside one."""
+    return _CONTEXT.get()
+
+
+def current_request_id() -> str | None:
+    """The active request id, or ``None`` outside a request."""
+    context = _CONTEXT.get()
+    return context.request_id if context is not None else None
+
+
+def activate(context: RequestContext | None) -> contextvars.Token:
+    """Make ``context`` current; pair with :func:`deactivate`."""
+    return _CONTEXT.set(context)
+
+
+def deactivate(token: contextvars.Token) -> None:
+    """Restore the context that was current before :func:`activate`."""
+    _CONTEXT.reset(token)
+
+
+@contextlib.contextmanager
+def use_context(context: RequestContext | None):
+    """``with use_context(ctx):`` — scoped :func:`activate`."""
+    token = _CONTEXT.set(context)
+    try:
+        yield context
+    finally:
+        _CONTEXT.reset(token)

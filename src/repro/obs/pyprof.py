@@ -1,0 +1,256 @@
+"""Sampling profiler: periodic stack capture → folded stacks → SVG.
+
+The span layer records one wall-time number per pipeline stage; this
+module answers the next question down — *which functions inside a
+stage dominate* — without instrumenting anything.  A background thread
+wakes every ``interval`` seconds and snapshots the target thread's
+Python stack via ``sys._current_frames()`` (the periodic-stack cousin
+of a ``sys.setprofile`` tracer, with none of its per-call overhead);
+identical stacks are counted together.
+
+Output is the *folded stack* format every flamegraph tool speaks, one
+line per unique stack::
+
+    module:outer;module:inner;module:leaf 42
+
+``flamegraph_svg`` turns that into a self-contained SVG (hover titles,
+no JavaScript, no external assets) — ``xydiff obs flame`` is the CLI
+wrapper and ``xydiff profile OLD NEW`` the one-shot entry point.
+
+The profiler is strictly opt-in: nothing on the diff path references
+it, so the disabled cost is zero and deltas/traces are byte-identical
+whether or not a profiler ran in the same process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import threading
+import time
+from collections import Counter
+from xml.sax.saxutils import escape
+
+__all__ = [
+    "SamplingProfiler",
+    "flamegraph_svg",
+    "parse_folded",
+]
+
+#: Default sampling period (seconds): fine enough to land hundreds of
+#: samples in a one-second run, coarse enough to stay invisible.
+DEFAULT_INTERVAL = 0.002
+
+
+def _fold(frame) -> str:
+    """Render one frame chain as a ``;``-joined root-first stack."""
+    parts: list[str] = []
+    while frame is not None:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        name = getattr(code, "co_qualname", code.co_name)
+        parts.append(f"{module}:{name}")
+        frame = frame.f_back
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Count the target thread's stacks on a fixed period.
+
+    Args:
+        interval: Seconds between samples.
+        max_depth: Stacks deeper than this are truncated at the root
+            end (keeps pathological recursion from bloating output).
+    """
+
+    def __init__(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        *,
+        max_depth: int = 128,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.max_depth = max_depth
+        self.samples: Counter[str] = Counter()
+        self._stop = threading.Event()
+        self._sampler: threading.Thread | None = None
+        self._target: int | None = None
+
+    @property
+    def sample_count(self) -> int:
+        return sum(self.samples.values())
+
+    def start(self, thread_id: int | None = None) -> None:
+        """Begin sampling ``thread_id`` (default: the calling thread)."""
+        if self._sampler is not None:
+            raise RuntimeError("profiler is already running")
+        self._target = (
+            thread_id if thread_id is not None else threading.get_ident()
+        )
+        self._stop.clear()
+        self._sampler = threading.Thread(
+            target=self._sample_loop, name="repro-pyprof", daemon=True
+        )
+        self._sampler.start()
+
+    def stop(self) -> None:
+        """Stop sampling and join the sampler thread."""
+        if self._sampler is None:
+            return
+        self._stop.set()
+        self._sampler.join()
+        self._sampler = None
+
+    def _sample_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self._target)
+            if frame is None:
+                continue
+            stack = _fold(frame)
+            if stack:
+                parts = stack.split(";")
+                if len(parts) > self.max_depth:
+                    stack = ";".join(parts[-self.max_depth :])
+                self.samples[stack] += 1
+
+    def profile(self):
+        """``with profiler.profile():`` — sample the enclosed block."""
+        return _ProfileScope(self)
+
+    def folded(self) -> str:
+        """The folded-stack text, one ``stack count`` line each."""
+        return "\n".join(
+            f"{stack} {count}"
+            for stack, count in sorted(self.samples.items())
+        )
+
+
+class _ProfileScope:
+    def __init__(self, profiler: SamplingProfiler):
+        self._profiler = profiler
+
+    def __enter__(self) -> SamplingProfiler:
+        self._profiler.start()
+        return self._profiler
+
+    def __exit__(self, *exc) -> None:
+        self._profiler.stop()
+
+
+def parse_folded(text: str) -> Counter[str]:
+    """Parse folded-stack text back into a stack → count counter."""
+    counts: Counter[str] = Counter()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        if not stack or not count.isdigit():
+            raise ValueError(f"malformed folded-stack line: {line!r}")
+        counts[stack] += int(count)
+    return counts
+
+
+# -- flamegraph rendering ---------------------------------------------------
+
+_FRAME_HEIGHT = 17
+_WIDTH = 1200
+_MARGIN = 10
+_MIN_FRAME_PX = 0.4  # frames narrower than this are not drawn
+_CHAR_PX = 6.5  # rough glyph width at font-size 11, for label fitting
+
+
+def _frame_color(name: str) -> str:
+    """A stable warm color per frame name (classic flamegraph look)."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    red = 205 + digest[0] % 50
+    green = 60 + digest[1] % 120
+    blue = digest[2] % 60
+    return f"rgb({red},{green},{blue})"
+
+
+def _build_tree(counts: Counter[str]) -> dict:
+    root: dict = {"name": "all", "value": 0, "children": {}}
+    for stack, count in counts.items():
+        root["value"] += count
+        node = root
+        for part in stack.split(";"):
+            child = node["children"].setdefault(
+                part, {"name": part, "value": 0, "children": {}}
+            )
+            child["value"] += count
+            node = child
+    return root
+
+
+def flamegraph_svg(folded: str | Counter, title: str = "flamegraph") -> str:
+    """Render folded-stack input as a self-contained SVG flamegraph.
+
+    Frame width is proportional to sample count; hovering a frame
+    shows its full name and share via the SVG ``<title>`` element, so
+    the file needs no scripts and renders anywhere.
+    """
+    counts = parse_folded(folded) if isinstance(folded, str) else folded
+    root = _build_tree(counts)
+    total = root["value"]
+    depth = 0
+
+    def _depth(node: dict, level: int) -> int:
+        if not node["children"]:
+            return level
+        return max(
+            _depth(child, level + 1) for child in node["children"].values()
+        )
+
+    if total:
+        depth = _depth(root, 0)
+    height = (depth + 2) * _FRAME_HEIGHT + 2 * _MARGIN + 20
+    usable = _WIDTH - 2 * _MARGIN
+    rects: list[str] = []
+
+    def _render(node: dict, x: float, level: int) -> None:
+        width = usable * node["value"] / total
+        if width < _MIN_FRAME_PX:
+            return
+        y = height - _MARGIN - (level + 1) * _FRAME_HEIGHT
+        share = 100.0 * node["value"] / total
+        label = node["name"]
+        tooltip = escape(
+            f"{label} — {node['value']} samples ({share:.1f}%)"
+        )
+        rects.append(
+            f'<g><title>{tooltip}</title>'
+            f'<rect x="{x:.2f}" y="{y}" width="{width:.2f}" '
+            f'height="{_FRAME_HEIGHT - 1}" fill="{_frame_color(label)}" '
+            f'rx="1"/>'
+        )
+        if width > 3 * _CHAR_PX:
+            fit = max(1, int(width / _CHAR_PX) - 1)
+            shown = label if len(label) <= fit else label[: fit - 1] + "…"
+            rects.append(
+                f'<text x="{x + 2:.2f}" y="{y + _FRAME_HEIGHT - 5}" '
+                f'font-size="11" font-family="monospace">'
+                f"{escape(shown)}</text>"
+            )
+        rects.append("</g>")
+        child_x = x
+        for name in sorted(node["children"]):
+            child = node["children"][name]
+            _render(child, child_x, level + 1)
+            child_x += usable * child["value"] / total
+
+    if total:
+        _render(root, _MARGIN, 0)
+    header = escape(f"{title} — {total} samples")
+    body = "\n".join(rects)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{height}" viewBox="0 0 {_WIDTH} {height}">\n'
+        f'<rect width="{_WIDTH}" height="{height}" fill="#fdfdfd"/>\n'
+        f'<text x="{_MARGIN}" y="{_MARGIN + 12}" font-size="13" '
+        f'font-family="monospace" font-weight="bold">{header}</text>\n'
+        f"{body}\n</svg>\n"
+    )

@@ -36,12 +36,23 @@ back deterministically.
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.context import (
+    REQUEST_ID_HEADER,
+    RequestContext,
+    activate,
+    current_context,
+    deactivate,
+    new_request_id,
+    valid_request_id,
+)
+from repro.obs.log import LEVELS, EventLogger
 from repro.server.deadline import (
     DEADLINE_HEADER,
     DEADLINE_HELP,
@@ -67,6 +78,10 @@ from repro.xmlkit.errors import (
 
 __all__ = ["DiffServer", "ServerConfig", "ServerHandle", "serve_in_thread"]
 
+#: Rotate ``trace_dir/traces.jsonl`` once past this size (one ``.1``
+#: generation is kept; older spans age out).
+TRACE_MAX_BYTES = 16 * 1024 * 1024
+
 #: Request-latency buckets: an HTTP API lives between 1 ms and 10 s.
 REQUEST_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
@@ -89,9 +104,11 @@ class ServerConfig:
         batch_max: Max jobs per executor batch.
         retry_after: Seconds advertised in 429 ``Retry-After``.
         trace_sample: Trace every Nth request (0 disables sampling).
-        trace_dir: Directory for sampled span trees (JSON lines, one
-            file per sampled request); ``None`` keeps them in memory
-            only long enough to echo the span id.
+        trace_dir: Directory for sampled span trees; every sampled
+            request appends its spans (each line tagged with the
+            request id) to one rotating ``traces.jsonl`` there;
+            ``None`` keeps them in memory only long enough to echo
+            the span id.
         max_body_bytes: Request body cap (413 beyond it).
         durability: Write policy handed to every store backend.
         default_deadline: Per-request time budget, in seconds, when the
@@ -104,6 +121,13 @@ class ServerConfig:
             covers retries beyond it).
         idempotency_max: Bound on cached commit responses (oldest
             evicted first).
+        log_level: Minimum severity the structured event log records
+            (``debug``/``info``/``warning``/``error``).
+        log_out: Optional JSONL file every event is appended to
+            (the in-memory ring behind ``GET /logz`` always runs).
+        log_capacity: Events kept in the ring for ``GET /logz``.
+        slo_objective: Availability objective ``GET /slo`` computes
+            error-budget burn against.
     """
 
     host: str = "127.0.0.1"
@@ -122,12 +146,27 @@ class ServerConfig:
     max_deadline: float = 120.0
     idempotency_ttl: float = 600.0
     idempotency_max: int = 1024
+    log_level: str = "info"
+    log_out: Optional[str] = None
+    log_capacity: int = 4096
+    slo_objective: float = 0.999
 
     def __post_init__(self):
         if self.default_deadline <= 0:
             raise ValueError("default_deadline must be > 0 seconds")
         if self.max_deadline <= 0:
             raise ValueError("max_deadline must be > 0 seconds")
+        if self.log_level not in LEVELS:
+            raise ValueError(
+                f"unknown log_level {self.log_level!r}; expected one of "
+                f"{sorted(LEVELS)}"
+            )
+        if self.log_capacity < 1:
+            raise ValueError("log_capacity must be >= 1")
+        if not 0.0 < self.slo_objective < 1.0:
+            raise ValueError(
+                "slo_objective must be strictly between 0 and 1"
+            )
 
 
 class DiffServer:
@@ -155,12 +194,18 @@ class DiffServer:
                 f"unknown default engine {config.engine!r}; "
                 f"choose from {self.available_engines}"
             )
+        self.events = EventLogger(
+            capacity=config.log_capacity,
+            level=config.log_level,
+            path=config.log_out,
+        )
         self.pool = WorkerPool(
             workers=config.workers,
             queue_limit=config.queue_limit,
             batch_max=config.batch_max,
             metrics=self.metrics,
             fault_hook=faults,
+            events=self.events,
         )
         self.draining = False
         self._server: Optional[asyncio.base_events.Server] = None
@@ -222,8 +267,21 @@ class DiffServer:
                     faults=self.faults,
                 )
                 store = VersionStore(
-                    repository=repository, metrics=self.metrics
+                    repository=repository,
+                    metrics=self.metrics,
+                    events=self.events,
+                    store_name=name,
                 )
+                # Crash recovery ran while opening: surface every
+                # journal roll-forward/back as a repo.recover event.
+                for event in getattr(repository, "recovery_events", ()):
+                    self.events.emit(
+                        "repo.recover",
+                        level="warning",
+                        store=name,
+                        action=event.action,
+                        detail=event.detail,
+                    )
                 entry = (store, threading.Lock())
                 self._stores[name] = entry
         return entry
@@ -267,6 +325,7 @@ class DiffServer:
             for store, _ in self._stores.values():
                 store.repository.close()
             self._stores.clear()
+        self.events.close()
 
     # -- connection handling -------------------------------------------------
 
@@ -329,80 +388,136 @@ class DiffServer:
     # -- dispatch ------------------------------------------------------------
 
     async def dispatch(self, request: Request) -> Response:
-        """Route one request and map every failure mode to a status."""
+        """Route one request and map every failure mode to a status.
+
+        Every request runs under a :class:`RequestContext`: a valid
+        client-supplied ``X-Repro-Request-Id`` is adopted, anything
+        else gets a minted id, and the id is echoed on *every*
+        response — success or error — so a retry storm stays groupable
+        end to end.  The context is a ``contextvar``, so it follows
+        the handler through awaits and (via the pool's capture) onto
+        worker threads.
+        """
         route, params, path_known = match_route(
             ROUTES, request.method, request.path
         )
         name = route.name if route is not None else "unmatched"
         started = time.perf_counter()
-        try:
-            if route is None:
-                if path_known:
-                    raise HttpError(
-                        405, f"{request.method} is not supported here"
-                    )
-                raise HttpError(404, f"no route for {request.path!r}")
-            if self.draining:
-                raise HttpError(503, "server is shutting down")
-            obs = self._sample(route, request)
-            if route.pooled:
-                try:
-                    obs.deadline = Deadline.from_header(
-                        request.headers.get(DEADLINE_HEADER.lower()),
-                        default=self.config.default_deadline,
-                        maximum=self.config.max_deadline,
-                    )
-                except ValueError as error:
-                    raise HttpError(400, str(error)) from None
-            try:
-                response = await route.handler(self, request, params, obs)
-            finally:
-                self._finish_sample(obs)
-            if obs.span is not None:
-                response.headers.setdefault(
-                    "X-Repro-Span-Id", str(obs.span.span_id)
-                )
-        except HttpError as error:
-            response = self._http_error_response(error)
-        except PoolSaturated as error:
-            response = Response.error(
-                429,
-                "overloaded",
-                f"{error}; retry after "
-                f"{self.config.retry_after:g} seconds",
-                headers={
-                    "Retry-After": f"{self.config.retry_after:g}",
-                    # Debug aid for tuning queue_limit from the client
-                    # side: how deep the queue was when this request
-                    # was shed.
-                    "X-Repro-Queue-Depth": str(self.pool.queue_depth),
-                },
+        supplied = request.headers.get(REQUEST_ID_HEADER.lower())
+        context = RequestContext(
+            request_id=(
+                supplied
+                if valid_request_id(supplied)
+                else new_request_id()
             )
-        except DeadlineExceeded as error:
-            response = Response.error(
-                504, "deadline-exceeded", str(error)
-            )
-        except XmlParseError as error:
-            response = Response.error(
-                422, "malformed-xml", error.location()
-            )
-        except (RepositoryError, DeltaError) as error:
-            # Unknown documents and versions surface here ("doc has
-            # versions 1..N"); the store itself existing is checked
-            # before the job is queued.
-            response = Response.error(404, "not-found", str(error))
-        except ReproError as error:
-            response = Response.error(400, "bad-request", str(error))
-        except Exception as error:  # noqa: BLE001 — last-resort 500
-            response = Response.error(
-                500, "internal-error", f"{type(error).__name__}: {error}"
-            )
-        elapsed = time.perf_counter() - started
-        self._requests_total.inc(
-            route=name, method=request.method, status=str(response.status)
         )
-        self._request_seconds.observe(elapsed, route=name)
-        return response
+        token = activate(context)
+        try:
+            self.events.emit(
+                "server.accept",
+                level="debug",
+                route=name,
+                method=request.method,
+                path=request.path,
+            )
+            try:
+                if route is None:
+                    if path_known:
+                        raise HttpError(
+                            405, f"{request.method} is not supported here"
+                        )
+                    raise HttpError(404, f"no route for {request.path!r}")
+                if self.draining:
+                    raise HttpError(503, "server is shutting down")
+                obs = self._sample(route, request)
+                obs.context = context
+                if route.pooled:
+                    try:
+                        obs.deadline = Deadline.from_header(
+                            request.headers.get(DEADLINE_HEADER.lower()),
+                            default=self.config.default_deadline,
+                            maximum=self.config.max_deadline,
+                        )
+                    except ValueError as error:
+                        raise HttpError(400, str(error)) from None
+                try:
+                    response = await route.handler(
+                        self, request, params, obs
+                    )
+                finally:
+                    self._finish_sample(obs)
+                if obs.span is not None:
+                    response.headers.setdefault(
+                        "X-Repro-Span-Id", str(obs.span.span_id)
+                    )
+            except HttpError as error:
+                response = self._http_error_response(error)
+            except PoolSaturated as error:
+                self.events.emit(
+                    "server.shed",
+                    level="warning",
+                    route=name,
+                    queue_depth=self.pool.queue_depth,
+                )
+                response = Response.error(
+                    429,
+                    "overloaded",
+                    f"{error}; retry after "
+                    f"{self.config.retry_after:g} seconds",
+                    headers={
+                        "Retry-After": f"{self.config.retry_after:g}",
+                        # Debug aid for tuning queue_limit from the
+                        # client side: how deep the queue was when this
+                        # request was shed.
+                        "X-Repro-Queue-Depth": str(self.pool.queue_depth),
+                    },
+                )
+            except DeadlineExceeded as error:
+                self.events.emit(
+                    "server.expire",
+                    level="warning",
+                    route=name,
+                    stage=getattr(error, "stage", None),
+                )
+                response = Response.error(
+                    504, "deadline-exceeded", str(error)
+                )
+            except XmlParseError as error:
+                response = Response.error(
+                    422, "malformed-xml", error.location()
+                )
+            except (RepositoryError, DeltaError) as error:
+                # Unknown documents and versions surface here ("doc has
+                # versions 1..N"); the store itself existing is checked
+                # before the job is queued.
+                response = Response.error(404, "not-found", str(error))
+            except ReproError as error:
+                response = Response.error(400, "bad-request", str(error))
+            except Exception as error:  # noqa: BLE001 — last-resort 500
+                response = Response.error(
+                    500,
+                    "internal-error",
+                    f"{type(error).__name__}: {error}",
+                )
+            elapsed = time.perf_counter() - started
+            self._requests_total.inc(
+                route=name,
+                method=request.method,
+                status=str(response.status),
+            )
+            self._request_seconds.observe(elapsed, route=name)
+            response.headers.setdefault(
+                REQUEST_ID_HEADER, context.request_id
+            )
+            self.events.emit(
+                "server.complete",
+                route=name,
+                status=response.status,
+                duration_ms=round(elapsed * 1000.0, 3),
+            )
+            return response
+        finally:
+            deactivate(token)
 
     def _http_error_response(self, error: HttpError) -> Response:
         headers = {}
@@ -440,6 +555,7 @@ class DiffServer:
         if self.draining:
             raise HttpError(503, "server is shutting down")
         future = self.pool.submit(fn, label=label, deadline=deadline)
+        self.events.emit("server.dispatch", level="debug", label=label)
         if deadline is None:
             return await future
         try:
@@ -469,12 +585,18 @@ class DiffServer:
         from repro.obs.trace import Tracer
 
         tracer = Tracer()
-        span = tracer.start_span(
-            f"server.{route.name}",
-            method=request.method,
-            path=request.path,
-            request_index=self._request_index,
-        )
+        context = current_context()
+        attrs = {
+            "method": request.method,
+            "path": request.path,
+            "request_index": self._request_index,
+        }
+        if context is not None:
+            attrs["request_id"] = context.request_id
+        span = tracer.start_span(f"server.{route.name}", **attrs)
+        if context is not None:
+            context.span_id = span.span_id
+            context.sampled = True
         self._sampled_total.inc(route=route.name)
         return RequestObs(tracer=tracer, span=span)
 
@@ -483,13 +605,35 @@ class DiffServer:
             return
         obs.tracer.end_span(obs.span)
         if self.config.trace_dir:
-            os.makedirs(self.config.trace_dir, exist_ok=True)
-            path = os.path.join(
-                self.config.trace_dir,
-                f"request-{obs.span.span_id}-{self._request_index}.jsonl",
-            )
-            with open(path, "w", encoding="utf-8") as handle:
-                obs.tracer.write_jsonl(handle)
+            self._append_trace(obs)
+
+    def _append_trace(self, obs: RequestObs) -> None:
+        """Append a sampled span tree to the rotating ``traces.jsonl``.
+
+        All sampled requests share one file (instead of a file per
+        request, which littered trace_dir under load); every span line
+        carries the request id, so ``xydiff obs render --request-id``
+        can pull one request's tree back out.  When the file crosses
+        :data:`TRACE_MAX_BYTES` it is rotated once to ``traces.jsonl.1``
+        — bounded disk, no unbounded history.
+        """
+        os.makedirs(self.config.trace_dir, exist_ok=True)
+        path = os.path.join(self.config.trace_dir, "traces.jsonl")
+        request_id = (
+            obs.context.request_id if obs.context is not None else None
+        )
+        lines = []
+        for span in obs.tracer.iter_spans():
+            record = span.to_dict()
+            record["request_id"] = request_id
+            lines.append(json.dumps(record, sort_keys=True))
+        try:
+            if os.path.getsize(path) > TRACE_MAX_BYTES:
+                os.replace(path, path + ".1")
+        except OSError:
+            pass  # first write, or a race on rotation — both fine
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
 
 
 # ---------------------------------------------------------------------------

@@ -65,6 +65,7 @@ API_HEADERS = (
     "X-Repro-Deadline-Ms",
     "X-Repro-Idempotent-Replay",
     "X-Repro-Queue-Depth",
+    "X-Repro-Request-Id",
     "X-Repro-Span-Id",
 )
 

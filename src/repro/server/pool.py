@@ -32,9 +32,11 @@ job deterministically, exactly like the storage write points.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Optional
 
+from repro.obs.context import RequestContext, current_context, use_context
 from repro.server.deadline import DEADLINE_HELP, Deadline, DeadlineExceeded
 from repro.xmlkit.errors import ReproError
 
@@ -49,7 +51,7 @@ class PoolSaturated(ReproError):
 
 
 class _Job:
-    __slots__ = ("fn", "future", "label", "deadline")
+    __slots__ = ("fn", "future", "label", "deadline", "context")
 
     def __init__(
         self,
@@ -57,11 +59,16 @@ class _Job:
         future,
         label: str,
         deadline: Optional[Deadline] = None,
+        context: Optional[RequestContext] = None,
     ):
         self.fn = fn
         self.future = future
         self.label = label
         self.deadline = deadline
+        # The submitting request's context, captured at submit time:
+        # contextvars do not flow into executor threads by themselves,
+        # so _run_batch re-activates it around the job body.
+        self.context = context
 
 
 class WorkerPool:
@@ -81,6 +88,10 @@ class WorkerPool:
         fault_hook: Optional object with an ``on_job(label)`` method
             (:class:`repro.testing.faults.FaultInjector` fits), called
             on the worker thread immediately before each job body.
+        events: Optional :class:`~repro.obs.log.EventLogger`; batch
+            boundaries are logged as ``pool.batch-start`` /
+            ``pool.batch-end`` (from the event loop — batches may mix
+            requests, so these carry no request id).
     """
 
     def __init__(
@@ -90,6 +101,7 @@ class WorkerPool:
         batch_max: int = 8,
         metrics=None,
         fault_hook=None,
+        events=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -101,6 +113,7 @@ class WorkerPool:
         self.queue_limit = queue_limit
         self.batch_max = batch_max
         self.fault_hook = fault_hook
+        self.events = events
         self._queue: Optional[asyncio.Queue] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._tasks: list[asyncio.Task] = []
@@ -218,7 +231,9 @@ class WorkerPool:
                 f"({self.queue_limit} jobs waiting)"
             )
         future = asyncio.get_event_loop().create_future()
-        self._queue.put_nowait(_Job(fn, future, label, deadline))
+        self._queue.put_nowait(
+            _Job(fn, future, label, deadline, current_context())
+        )
         self._idle.clear()
         if self._depth_gauge is not None:
             self._depth_gauge.set(self._queue.qsize())
@@ -269,6 +284,11 @@ class WorkerPool:
             self._inflight += len(batch)
             if self._batch_hist is not None:
                 self._batch_hist.observe(len(batch))
+            if self.events is not None:
+                self.events.emit(
+                    "pool.batch-start", level="debug", size=len(batch)
+                )
+            batch_started = time.perf_counter()
             try:
                 outcomes = await loop.run_in_executor(
                     self._executor, self._run_batch, batch
@@ -277,6 +297,15 @@ class WorkerPool:
                 # close() cancels workers only after drain(), so there
                 # is no batch to abandon; re-raise to finish the task.
                 raise
+            if self.events is not None:
+                self.events.emit(
+                    "pool.batch-end",
+                    level="debug",
+                    size=len(batch),
+                    duration_ms=round(
+                        (time.perf_counter() - batch_started) * 1000.0, 3
+                    ),
+                )
             for job, (ok, value) in zip(batch, outcomes):
                 # Counted here, on the loop, so the registry is only
                 # ever touched from one thread (it has no locking).
@@ -317,9 +346,10 @@ class WorkerPool:
                 outcomes.append((None, None))
                 continue
             try:
-                if self.fault_hook is not None:
-                    self.fault_hook.on_job(job.label)
-                outcomes.append((True, job.fn()))
+                with use_context(job.context):
+                    if self.fault_hook is not None:
+                        self.fault_hook.on_job(job.label)
+                    outcomes.append((True, job.fn()))
             except BaseException as error:  # resolves the caller's future
                 outcomes.append((False, error))
         return outcomes

@@ -49,6 +49,8 @@ class RequestObs:
     deadline: Optional[object] = None  # the request's Deadline (pooled
     # routes only); handlers pass it into ``server.run_job`` so the
     # budget covers queue wait *and* execution.
+    context: Optional[object] = None  # the RequestContext dispatch
+    # activated for this request (adopted or minted request id).
 
 
 @dataclass(frozen=True)
@@ -278,6 +280,12 @@ async def handle_commit(server, request: Request, params, obs) -> Response:
                     "with a different body",
                 )
             server._replays_total.inc(source="cache")
+            server.events.emit(
+                "server.replay",
+                store=store_name,
+                doc_id=doc_id,
+                source="cache",
+            )
             return Response.json(
                 cached.payload,
                 status=cached.status,
@@ -323,15 +331,24 @@ async def handle_commit(server, request: Request, params, obs) -> Response:
             record = (
                 {"key": key, "digest": digest} if key is not None else None
             )
+            if record is not None and obs.context is not None:
+                # Journal-durable attribution: the correlation id rides
+                # the last_commit record and the per-version map.
+                record["request_id"] = obs.context.request_id
             if store.repository.exists(doc_id):
-                delta = store.commit(doc_id, document, commit_record=record)
+                delta = store.commit(
+                    doc_id, document,
+                    commit_record=record, tracer=obs.tracer,
+                )
                 return {
                     "doc_id": doc_id,
                     "version": store.current_version(doc_id),
                     "created": False,
                     "summary": dict(sorted(delta.summary().items())),
                 }
-            store.create(doc_id, document, commit_record=record)
+            store.create(
+                doc_id, document, commit_record=record, tracer=obs.tracer
+            )
             return {
                 "doc_id": doc_id,
                 "version": 1,
@@ -344,6 +361,12 @@ async def handle_commit(server, request: Request, params, obs) -> Response:
     headers = {}
     if replayed is not None:
         server._replays_total.inc(source=replayed)
+        server.events.emit(
+            "server.replay",
+            store=store_name,
+            doc_id=doc_id,
+            source=replayed,
+        )
         headers[REPLAY_HEADER] = "true"
     status = 201 if result["created"] else 200
     if key is not None:
@@ -503,10 +526,43 @@ async def handle_metrics(server, request: Request, params, obs) -> Response:
     )
 
 
+async def handle_logz(server, request: Request, params, obs) -> Response:
+    """GET /logz?request_id=&event=&limit= — tail the structured event
+    ring (schema ``repro.log/1``), newest last."""
+    from repro.obs.log import SCHEMA
+
+    limit_raw = request.query.get("limit")
+    limit = 100
+    if limit_raw:
+        limit = _int_param(limit_raw, "query parameter 'limit'")
+        if limit <= 0:
+            raise HttpError(400, "query parameter 'limit' must be positive")
+    records = server.events.tail(
+        limit=limit,
+        request_id=request.query.get("request_id") or None,
+        event=request.query.get("event") or None,
+    )
+    return Response.json({"schema": SCHEMA, "events": records})
+
+
+async def handle_slo(server, request: Request, params, obs) -> Response:
+    """GET /slo — latency percentiles and error-budget burn computed
+    from the server's own metrics (schema ``repro.slo/1``)."""
+    from repro.obs.slo import compute_slo
+
+    return Response.json(
+        compute_slo(
+            server.metrics, objective=server.config.slo_objective
+        ).to_dict()
+    )
+
+
 #: The registered API surface, in matching order.
 ROUTES: tuple[Route, ...] = (
     Route("GET", "/healthz", "healthz", handle_healthz, pooled=False),
     Route("GET", "/metrics", "metrics", handle_metrics, pooled=False),
+    Route("GET", "/logz", "logz", handle_logz, pooled=False),
+    Route("GET", "/slo", "slo", handle_slo, pooled=False),
     Route("POST", "/diff", "diff", handle_diff, pooled=True),
     Route("POST", "/explain", "explain", handle_explain, pooled=True),
     Route("POST", "/audit", "audit", handle_audit, pooled=True),

@@ -20,7 +20,12 @@ The invariants — all of which must hold under every fault shape:
 - **every request answered or cleanly failed** — nothing but typed
   :class:`~repro.client.ClientError` failures escape the client;
 - **the breaker recovers** — once faults stop, every client's circuit
-  breaker closes again and requests succeed.
+  breaker closes again and requests succeed;
+- **every request attributable** — each acked commit's
+  ``X-Repro-Request-Id`` appears in the client event log, the server
+  event log, and the store's per-version attribution metadata, and no
+  server-side completion names a request id the clients never issued
+  (telemetry survives the same faults the data does).
 
 Scenarios are seeded end to end (fault jitter, client backoff jitter),
 so a failure reproduces.  :func:`run_scenario` returns a
@@ -82,6 +87,8 @@ class ChaosReport:
     duplicate_commits: int
     unanswered: int
     breaker_recovered: bool
+    orphan_events: int = 0
+    unattributed_commits: int = 0
 
     @property
     def invariants_hold(self) -> bool:
@@ -90,6 +97,8 @@ class ChaosReport:
             and self.duplicate_commits == 0
             and self.unanswered == 0
             and self.breaker_recovered
+            and self.orphan_events == 0
+            and self.unattributed_commits == 0
         )
 
     def to_dict(self) -> dict:
@@ -104,6 +113,8 @@ class ChaosReport:
             "duplicate_commits": self.duplicate_commits,
             "unanswered": self.unanswered,
             "breaker_recovered": self.breaker_recovered,
+            "orphan_events": self.orphan_events,
+            "unattributed_commits": self.unattributed_commits,
         }
 
 
@@ -168,6 +179,7 @@ def run_scenario(
     ``store_url`` overrides the default temp ``sqlite://`` store (CI
     passes one to pin the backend under test).
     """
+    from repro.obs.log import EventLogger
     from repro.obs.metrics import MetricsRegistry
     from repro.server import ServerConfig, serve_in_thread
 
@@ -180,7 +192,10 @@ def run_scenario(
         "clean_failures": 0,
         "unanswered": 0,
     }
-    acked: dict[str, list[tuple[int, str]]] = {}
+    # (version, content, request_id) per acked commit — the rid is the
+    # attribution invariant's handle into both event logs and the store.
+    acked: dict[str, list[tuple[int, str, Optional[str]]]] = {}
+    client_events = EventLogger(capacity=8192, level="debug")
 
     with tempfile.TemporaryDirectory() as tmp:
         url = store_url or f"sqlite://{tmp}/chaos.db"
@@ -207,6 +222,7 @@ def run_scenario(
                 breaker_threshold=scenario.breaker_threshold,
                 breaker_reset=scenario.breaker_reset,
                 deadline_ms=scenario.deadline_ms,
+                events=client_events,
                 rng=random.Random(1000 + index),
             )
             for index in range(scenario.clients)
@@ -238,7 +254,11 @@ def run_scenario(
                     if result.get("replayed"):
                         counters["replays"] += 1
                     acked.setdefault(doc_id, []).append(
-                        (int(result["version"]), content)
+                        (
+                            int(result["version"]),
+                            content,
+                            result.get("request_id"),
+                        )
                     )
 
         threads = [
@@ -272,7 +292,7 @@ def run_scenario(
                 ]
                 for version in range(1, current + 1)
             }
-            for version, content in acks:
+            for version, content, _request_id in acks:
                 if version not in stored or not _documents_equal(
                     stored[version], content
                 ):
@@ -280,7 +300,53 @@ def run_scenario(
             for version in range(2, current + 1):
                 if stored[version] == stored[version - 1]:
                     duplicates += 1
+
+        # Attribution audit: snapshot the server's event ring last, so
+        # every id the verifier itself minted above is already in the
+        # client log when the two sets are compared.
+        server_records = verifier.request(
+            "GET", "/logz?limit=8192"
+        )[2]["events"]
         handle.close()
+
+        client_rids = {
+            record["request_id"]
+            for record in client_events.tail()
+            if record.get("request_id")
+        }
+        server_rids = {
+            record["request_id"]
+            for record in server_records
+            if record.get("request_id")
+        }
+        # Orphans: a server-side completion whose id no client issued
+        # would mean correlation broke somewhere between the wire and
+        # the log.  (The /logz call's own completion is emitted after
+        # its response, so it cannot be in its own snapshot.)
+        orphans = sum(
+            1
+            for record in server_records
+            if record["event"] == "server.complete"
+            and record.get("request_id")
+            and record["request_id"] not in client_rids
+        )
+        # The store survives the server: reopen it and check every
+        # acked commit's id made it into the journaled per-version
+        # attribution metadata as well as both logs.
+        from repro.versioning.sharded import open_repository
+
+        repository = open_repository(url)
+        unattributed = 0
+        for doc_id, acks in sorted(acked.items()):
+            attribution = repository.attribution(doc_id)
+            for version, _, request_id in acks:
+                if (
+                    request_id is None
+                    or request_id not in client_rids
+                    or request_id not in server_rids
+                    or attribution.get(str(version)) != request_id
+                ):
+                    unattributed += 1
 
     return ChaosReport(
         scenario=scenario.name,
@@ -293,6 +359,8 @@ def run_scenario(
         duplicate_commits=duplicates,
         unanswered=counters["unanswered"],
         breaker_recovered=breaker_recovered,
+        orphan_events=orphans,
+        unattributed_commits=unattributed,
     )
 
 

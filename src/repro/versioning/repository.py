@@ -230,6 +230,20 @@ class Repository:
         self._check_exists(doc_id)
         return None
 
+    def attribution(self, doc_id: str) -> dict[str, str]:
+        """``version -> request id`` for every attributed commit.
+
+        Unlike :meth:`last_commit` (latest record only), this map keeps
+        one entry per committed version whose ``commit_record`` carried
+        a ``request_id`` — the durable end of request correlation: an
+        acked commit can be traced from the client's retry log to the
+        exact stored version it produced.  Versions are string keys
+        (JSON round trip).  Backends without persistent state return an
+        empty map.
+        """
+        self._check_exists(doc_id)
+        return {}
+
     def verify(self, doc_id: str | None = None) -> list[Finding]:
         """Audit stored state; a backend without persistent state is
         vacuously clean."""
@@ -269,6 +283,7 @@ class MemoryRepository(Repository):
         self._next_xid: dict[str, int] = {}
         self._snapshots: dict[tuple[str, int], Document] = {}
         self._last_commit: dict[str, dict] = {}
+        self._attribution: dict[str, dict[str, str]] = {}
 
     def create(
         self, doc_id, document, allocator, commit_record=None
@@ -280,6 +295,10 @@ class MemoryRepository(Repository):
         self._next_xid[doc_id] = allocator.next_xid
         if commit_record is not None:
             self._last_commit[doc_id] = dict(commit_record, version=1)
+            if commit_record.get("request_id"):
+                self._attribution.setdefault(doc_id, {})["1"] = str(
+                    commit_record["request_id"]
+                )
 
     def exists(self, doc_id: str) -> bool:
         return doc_id in self._current
@@ -314,10 +333,13 @@ class MemoryRepository(Repository):
         self._deltas[doc_id].append(delta)
         self._current[doc_id] = new_document.clone()
         self._next_xid[doc_id] = allocator.next_xid
+        version = len(self._deltas[doc_id]) + 1
         if commit_record is not None:
-            self._last_commit[doc_id] = dict(
-                commit_record, version=len(self._deltas[doc_id]) + 1
-            )
+            self._last_commit[doc_id] = dict(commit_record, version=version)
+            if commit_record.get("request_id"):
+                self._attribution.setdefault(doc_id, {})[str(version)] = str(
+                    commit_record["request_id"]
+                )
         else:
             self._last_commit.pop(doc_id, None)
 
@@ -325,6 +347,10 @@ class MemoryRepository(Repository):
         self._check_exists(doc_id)
         record = self._last_commit.get(doc_id)
         return dict(record) if record is not None else None
+
+    def attribution(self, doc_id):
+        self._check_exists(doc_id)
+        return dict(self._attribution.get(doc_id, {}))
 
     def store_snapshot(self, doc_id, version, document):
         self._check_exists(doc_id)
@@ -502,6 +528,10 @@ class BackendRepository(Repository):
         }
         if commit_record is not None:
             meta["last_commit"] = dict(commit_record, version=1)
+            if commit_record.get("request_id"):
+                meta["attribution"] = {
+                    "1": str(commit_record["request_id"])
+                }
         with self.backend.batch():
             digest = self.backend.put(
                 self._current_key(doc_id),
@@ -573,6 +603,9 @@ class BackendRepository(Repository):
         record = self._load_meta(doc_id).get("last_commit")
         return dict(record) if record is not None else None
 
+    def attribution(self, doc_id):
+        return dict(self._load_meta(doc_id).get("attribution", {}))
+
     def load_delta(self, doc_id: str, base_version: int) -> Delta:
         self._check_exists(doc_id)
         key = self._delta_key(doc_id, base_version)
@@ -619,6 +652,16 @@ class BackendRepository(Repository):
                 new_meta["last_commit"] = dict(
                     commit_record, version=version + 1
                 )
+                # Attribution accumulates (one entry per version, vs
+                # last_commit's latest-only record) and rides the same
+                # journaled metadata write, so crash recovery keeps it
+                # consistent with the version it describes.
+                if commit_record.get("request_id"):
+                    attribution = dict(meta.get("attribution", {}))
+                    attribution[str(version + 1)] = str(
+                        commit_record["request_id"]
+                    )
+                    new_meta["attribution"] = attribution
             else:
                 new_meta.pop("last_commit", None)
             new_manifest = {

@@ -269,6 +269,9 @@ class ShardedRepository(Repository):
     def last_commit(self, doc_id):
         return self._repo_of(doc_id).last_commit(doc_id)
 
+    def attribution(self, doc_id):
+        return self._repo_of(doc_id).attribution(doc_id)
+
     def store_snapshot(self, doc_id, version, document):
         index = self._locate(doc_id)
         if index is None:

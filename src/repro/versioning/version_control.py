@@ -11,6 +11,7 @@ reconstructed on demand by applying completed deltas backward, and
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional
 
 from repro.core.apply import aggregate, apply_backward, apply_delta
@@ -19,6 +20,7 @@ from repro.core.delta import Delta
 from repro.core.diff import DiffStats
 from repro.core.xid import assign_initial_xids
 from repro.engine import AnnotationStore, DiffContext, DiffEngine, resolve_engine
+from repro.obs.context import current_request_id
 from repro.versioning.repository import MemoryRepository, Repository
 from repro.xmlkit.errors import RepositoryError
 from repro.xmlkit.model import Document, coalesce_text
@@ -56,6 +58,14 @@ class VersionStore:
             :class:`~repro.obs.profiler.StageProfiler`, and hands the
             registry to its :class:`AnnotationStore` for hit/miss/
             eviction counters.
+        events: Optional :class:`repro.obs.log.EventLogger`.  Every
+            successful :meth:`create`/:meth:`commit` logs a
+            ``repo.create``/``repo.commit`` event carrying the store
+            name, doc id, version and (via the ambient request
+            context) the request id that caused it.
+        store_name: Name tagged onto the events above — the server's
+            configured store alias; standalone embedders can leave it
+            ``None``.
     """
 
     def __init__(
@@ -68,6 +78,8 @@ class VersionStore:
         annotation_cache: bool = True,
         tracer=None,
         metrics=None,
+        events=None,
+        store_name: Optional[str] = None,
     ):
         self.repository = repository if repository is not None else MemoryRepository()
         self.config = config or DiffConfig()
@@ -78,6 +90,8 @@ class VersionStore:
         self.engine = resolve_engine(engine)
         self.tracer = tracer
         self.metrics = metrics
+        self.events = events
+        self.store_name = store_name
         self._profiler = None
         self._commits_total = None
         if metrics is not None:
@@ -100,6 +114,7 @@ class VersionStore:
         doc_id: str,
         document: Document,
         commit_record: Optional[dict] = None,
+        tracer=None,
     ) -> int:
         """Store ``document`` as version 1 of a new document; returns 1.
 
@@ -109,11 +124,18 @@ class VersionStore:
 
         ``commit_record`` is an optional idempotency marker persisted
         with the commit; see :class:`~repro.versioning.repository
-        .Repository`.
+        .Repository`.  ``tracer`` overrides the store's own tracer for
+        this call — the server threads its per-request tracer through
+        here so the ``store.create`` span lands in the request's trace.
         """
         span = None
-        if self.tracer is not None:
-            span = self.tracer.start_span("store.create", doc_id=doc_id)
+        tracer = tracer if tracer is not None else self.tracer
+        request_id = current_request_id()
+        if tracer is not None:
+            attrs = {"doc_id": doc_id}
+            if request_id is not None:
+                attrs["request_id"] = request_id
+            span = tracer.start_span("store.create", **attrs)
         try:
             working = document.clone(keep_xids=False)
             coalesce_text(working)
@@ -123,7 +145,11 @@ class VersionStore:
             )
         finally:
             if span is not None:
-                self.tracer.end_span(span)
+                tracer.end_span(span)
+        if self.events is not None:
+            self.events.emit(
+                "repo.create", store=self.store_name, doc_id=doc_id
+            )
         return 1
 
     def commit(
@@ -131,16 +157,24 @@ class VersionStore:
         doc_id: str,
         new_document: Document,
         commit_record: Optional[dict] = None,
+        tracer=None,
     ) -> Delta:
         """Diff the new version against the current one and append it.
 
         Returns the computed delta (empty if nothing changed — an empty
         delta still advances the version, mirroring a crawler revisit).
-        The stored content is normalized like :meth:`create`.
+        The stored content is normalized like :meth:`create`; ``tracer``
+        overrides the store's own tracer for this call, like there.
         """
         span = None
-        if self.tracer is not None:
-            span = self.tracer.start_span("store.commit", doc_id=doc_id)
+        tracer = tracer if tracer is not None else self.tracer
+        request_id = current_request_id()
+        started = time.perf_counter()
+        if tracer is not None:
+            attrs = {"doc_id": doc_id}
+            if request_id is not None:
+                attrs["request_id"] = request_id
+            span = tracer.start_span("store.commit", **attrs)
         try:
             # readonly: the diff never mutates its old side (delta payloads
             # are cloned out of it by the builder), so the repository can
@@ -162,7 +196,7 @@ class VersionStore:
                 annotation_store=self.annotation_store,
                 old_annotation_key=(doc_id, base_version),
                 new_annotation_key=(doc_id, base_version + 1),
-                tracer=self.tracer,
+                tracer=tracer,
             )
             if self._profiler is not None:
                 self._profiler.install(context)
@@ -189,7 +223,17 @@ class VersionStore:
                 self.on_commit(doc_id, delta, working)
         finally:
             if span is not None:
-                self.tracer.end_span(span)
+                tracer.end_span(span)
+        if self.events is not None:
+            self.events.emit(
+                "repo.commit",
+                store=self.store_name,
+                doc_id=doc_id,
+                version=delta.target_version,
+                duration_ms=round(
+                    (time.perf_counter() - started) * 1000.0, 3
+                ),
+            )
         return delta
 
     # -- reading ------------------------------------------------------------

@@ -1,0 +1,111 @@
+"""The propagated request context: ids, validation, scoping."""
+
+import threading
+
+from repro.obs.context import (
+    MAX_REQUEST_ID_LENGTH,
+    REQUEST_ID_HEADER,
+    RequestContext,
+    activate,
+    current_context,
+    current_request_id,
+    deactivate,
+    new_request_id,
+    use_context,
+    valid_request_id,
+)
+
+
+def test_header_name_is_the_wire_contract():
+    assert REQUEST_ID_HEADER == "X-Repro-Request-Id"
+
+
+def test_new_request_id_is_hex_and_unique():
+    first, second = new_request_id(), new_request_id()
+    assert first != second
+    for rid in (first, second):
+        assert len(rid) == 32
+        assert valid_request_id(rid)
+        int(rid, 16)  # raises if not hex
+
+
+def test_valid_request_id_bounds():
+    assert valid_request_id("abc-123_DEF.~!")
+    assert valid_request_id("x" * MAX_REQUEST_ID_LENGTH)
+    assert not valid_request_id("x" * (MAX_REQUEST_ID_LENGTH + 1))
+    assert not valid_request_id("")
+    assert not valid_request_id(None)
+    # Whitespace and control bytes would corrupt every log line the id
+    # is stamped on — all rejected.
+    assert not valid_request_id("has space")
+    assert not valid_request_id("tab\tid")
+    assert not valid_request_id("line\nid")
+    assert not valid_request_id("bell\x07")
+    assert not valid_request_id("café")  # non-ASCII
+
+
+def test_no_context_by_default():
+    assert current_context() is None
+    assert current_request_id() is None
+
+
+def test_use_context_scopes_and_restores():
+    with use_context(RequestContext(request_id="rid-1")) as context:
+        assert context.request_id == "rid-1"
+        assert current_request_id() == "rid-1"
+        assert current_context() is context
+    assert current_context() is None
+
+
+def test_use_context_nests_and_unwinds_in_order():
+    with use_context(RequestContext(request_id="outer")):
+        with use_context(RequestContext(request_id="inner")):
+            assert current_request_id() == "inner"
+        assert current_request_id() == "outer"
+    assert current_request_id() is None
+
+
+def test_use_context_restores_on_exception():
+    try:
+        with use_context(RequestContext(request_id="boom")):
+            raise RuntimeError("handler failed")
+    except RuntimeError:
+        pass
+    assert current_context() is None
+
+
+def test_activate_deactivate_token_pair():
+    token = activate(RequestContext(request_id="manual"))
+    try:
+        assert current_request_id() == "manual"
+    finally:
+        deactivate(token)
+    assert current_request_id() is None
+
+
+def test_use_context_none_masks_an_outer_context():
+    with use_context(RequestContext(request_id="outer")):
+        with use_context(None):
+            assert current_context() is None
+        assert current_request_id() == "outer"
+
+
+def test_context_does_not_leak_across_threads():
+    seen = {}
+
+    def probe():
+        seen["request_id"] = current_request_id()
+
+    with use_context(RequestContext(request_id="main-thread")):
+        worker = threading.Thread(target=probe)
+        worker.start()
+        worker.join()
+    # A fresh thread starts from the default (no context) — propagation
+    # into pool workers is explicit, by design.
+    assert seen["request_id"] is None
+
+
+def test_span_id_and_sampled_default_unset():
+    context = RequestContext(request_id="rid")
+    assert context.span_id is None
+    assert context.sampled is False

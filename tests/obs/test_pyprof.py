@@ -1,0 +1,119 @@
+"""The sampling profiler: capture, folded format, flamegraph SVG."""
+
+import time
+from collections import Counter
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.obs.pyprof import SamplingProfiler, flamegraph_svg, parse_folded
+
+
+def _busy(deadline: float) -> int:
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+def test_profiler_samples_a_busy_loop():
+    profiler = SamplingProfiler(interval=0.001)
+    with profiler.profile():
+        _busy(time.perf_counter() + 0.25)
+    assert profiler.sample_count > 0
+    folded = profiler.folded()
+    assert folded
+    # The busy function must appear somewhere in the captured stacks,
+    # and stacks are root-first (this test module is an ancestor frame).
+    assert "_busy" in folded
+    hot = [stack for stack in parse_folded(folded) if "_busy" in stack]
+    assert hot
+    assert all(
+        stack.index("test_pyprof") < stack.index("_busy") for stack in hot
+    )
+
+
+def test_profiler_rejects_bad_interval_and_double_start():
+    with pytest.raises(ValueError):
+        SamplingProfiler(interval=0)
+    profiler = SamplingProfiler(interval=0.01)
+    profiler.start()
+    try:
+        with pytest.raises(RuntimeError):
+            profiler.start()
+    finally:
+        profiler.stop()
+    profiler.stop()  # stop is idempotent
+
+
+def test_max_depth_truncates_at_the_root_end():
+    profiler = SamplingProfiler(interval=0.001, max_depth=2)
+
+    def recurse(depth, deadline):
+        if depth:
+            return recurse(depth - 1, deadline)
+        return _busy(deadline)
+
+    with profiler.profile():
+        recurse(20, time.perf_counter() + 0.2)
+    assert profiler.sample_count > 0
+    for stack in profiler.samples:
+        assert len(stack.split(";")) <= 2
+
+
+def test_folded_roundtrips_through_parse_folded():
+    counts = Counter({"a:f;a:g": 3, "a:f": 2})
+    profiler = SamplingProfiler()
+    profiler.samples = counts
+    assert parse_folded(profiler.folded()) == counts
+
+
+def test_parse_folded_merges_duplicates_and_skips_blanks():
+    counts = parse_folded("a:f;a:g 2\n\na:f;a:g 3\na:h 1\n")
+    assert counts == Counter({"a:f;a:g": 5, "a:h": 1})
+
+
+@pytest.mark.parametrize("bad", ["no-count", "stack notanumber", " 7"])
+def test_parse_folded_rejects_malformed_lines(bad):
+    with pytest.raises(ValueError, match="malformed"):
+        parse_folded(bad)
+
+
+def test_flamegraph_svg_is_wellformed_xml_with_all_frames():
+    folded = "main:run;engine:match 6\nmain:run;engine:emit 3\nmain:idle 1"
+    svg = flamegraph_svg(folded, title="unit")
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    root = ElementTree.fromstring(svg)  # raises on malformed markup
+    titles = [
+        element.text
+        for element in root.iter("{http://www.w3.org/2000/svg}title")
+    ]
+    assert any("engine:match" in text for text in titles)
+    assert any("engine:emit" in text for text in titles)
+    assert "unit — 10 samples" in svg
+
+
+def test_flamegraph_accepts_counter_input_and_escapes_labels():
+    svg = flamegraph_svg(Counter({"m:<lambda>;m:f": 4}))
+    assert "&lt;lambda&gt;" in svg
+    assert "<lambda>" not in svg.replace("&lt;lambda&gt;", "")
+    ElementTree.fromstring(svg)
+
+
+def test_flamegraph_of_empty_input_is_valid_and_empty():
+    svg = flamegraph_svg("")
+    assert svg.startswith("<svg")
+    ElementTree.fromstring(svg)
+    assert "0 samples" in svg
+
+
+def test_frame_widths_are_proportional_to_counts():
+    svg = flamegraph_svg("m:heavy 9\nm:light 1")
+    widths = {}
+    root = ElementTree.fromstring(svg)
+    for group in root.iter("{http://www.w3.org/2000/svg}g"):
+        title = group.find("{http://www.w3.org/2000/svg}title").text
+        rect = group.find("{http://www.w3.org/2000/svg}rect")
+        widths[title.split(" — ")[0]] = float(rect.get("width"))
+    assert widths["m:heavy"] > 8 * widths["m:light"]

@@ -24,6 +24,10 @@ Three classes of drift, all fatal:
    header in ``repro.server.API_HEADERS`` and must not name an API
    header the code does not declare; its status-code table must equal
    ``repro.server.status_reasons()`` in both directions.
+7. **Event-catalogue drift** — the "Event catalogue" table in
+   docs/observability.md must list exactly the event names in
+   ``repro.obs.log.EVENT_CATALOG``, in both directions: no documented
+   event the logger would reject, no emittable event the docs omit.
 
 Usage: ``python tools/check_docs.py`` (from anywhere; exits 1 on drift).
 """
@@ -58,6 +62,11 @@ HEADER_TOKEN_RE = re.compile(
 #: (`200` / `201`).
 STATUS_ROW_RE = re.compile(r"^\|\s*((?:`\d{3}`(?:\s*/\s*)?)+)\s*\|",
                            re.MULTILINE)
+#: An event-catalogue table row: first cell is the `component.event`
+#: name (dots and dashes, the EVENT_CATALOG naming shape).
+EVENT_ROW_RE = re.compile(
+    r"^\|\s*`([a-z]+(?:\.[a-z][a-z-]*)+)`\s*\|", re.MULTILINE
+)
 #: URL schemes that are links, not store addresses.
 WEB_SCHEMES = {"http", "https", "mailto"}
 
@@ -235,6 +244,45 @@ def check_server_docs(docs_dir: pathlib.Path, problems: list[str]) -> None:
         )
 
 
+def check_event_catalog(docs_dir: pathlib.Path, problems: list[str]) -> None:
+    """The docs event catalogue must equal the emitter registry."""
+    from repro.obs.log import EVENT_CATALOG
+
+    page = docs_dir / "observability.md"
+    if not page.exists():
+        problems.append(
+            "docs/observability.md: missing (the telemetry reference)"
+        )
+        return
+    text = page.read_text()
+    heading = re.search(
+        r"^##+\s+Event catalogue\s*$", text, re.MULTILINE
+    )
+    if heading is None:
+        problems.append(
+            "docs/observability.md: no 'Event catalogue' section "
+            "(repro.obs.log.EVENT_CATALOG must be documented there)"
+        )
+        return
+    section = text[heading.end():]
+    following = re.search(r"^##\s", section, re.MULTILINE)
+    if following is not None:
+        section = section[: following.start()]
+    documented = set(EVENT_ROW_RE.findall(section))
+    registered = set(EVENT_CATALOG)
+    for event in sorted(documented - registered):
+        problems.append(
+            f"docs/observability.md: event {event!r} is documented but "
+            "not in repro.obs.log.EVENT_CATALOG (the logger would "
+            "reject it)"
+        )
+    for event in sorted(registered - documented):
+        problems.append(
+            f"docs/observability.md: event {event!r} can be emitted "
+            "but is missing from the event-catalogue table"
+        )
+
+
 def main() -> int:
     problems: list[str] = []
     docs_dir = ROOT / "docs"
@@ -256,6 +304,7 @@ def main() -> int:
 
     check_cli_docs(docs_dir, problems)
     check_server_docs(docs_dir, problems)
+    check_event_catalog(docs_dir, problems)
 
     if problems:
         for problem in problems:
