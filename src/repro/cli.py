@@ -413,15 +413,54 @@ def _open_version_store(args, *, must_exist=True, tracer=None, metrics=None):
 def _cmd_store_ls(args) -> int:
     store = _open_version_store(args)
     lines = []
-    for doc_id in store.document_ids():
-        version = store.current_version(doc_id)
-        snapshots = store.repository.snapshot_versions(doc_id)
+    if args.sizes:
+        # One collector walk answers versions, checkpoints and on-disk
+        # bytes per document — no per-doc meta reads in the loop.
+        from repro.obs.storewatch import collect_store_stats
+
+        report = collect_store_stats(store.repository, per_document=True)
+        total_bytes = 0
+        for entry in report["documents_detail"]:
+            versions = entry["versions"]
+            total_bytes += entry["bytes"]
+            shown = "?" if versions is None else versions
+            lines.append(
+                f"{entry['doc_id']}  version={shown} "
+                f"checkpoints={entry['checkpoints']} "
+                f"bytes={entry['bytes']}"
+            )
         lines.append(
-            f"{doc_id}  version={version} checkpoints={len(snapshots)}"
+            f"summary: documents={len(lines)} bytes={total_bytes}"
         )
-    lines.append(f"summary: documents={len(lines)}")
+    else:
+        for doc_id in store.document_ids():
+            version = store.current_version(doc_id)
+            snapshots = store.repository.snapshot_versions(doc_id)
+            lines.append(
+                f"{doc_id}  version={version} checkpoints={len(snapshots)}"
+            )
+        lines.append(f"summary: documents={len(lines)}")
     store.repository.close()
     _write(args.output, "\n".join(lines) + "\n")
+    return 0
+
+
+def _cmd_store_stats(args) -> int:
+    import json as _json
+
+    from repro.obs.storewatch import collect_store_stats, render_store_stats
+    from repro.versioning.sharded import open_repository
+
+    repository = open_repository(args.store, must_exist=True)
+    try:
+        report = collect_store_stats(repository, label=args.store)
+    finally:
+        repository.close()
+    if args.json:
+        _write(args.output,
+               _json.dumps(report, indent=2, sort_keys=True) + "\n")
+    else:
+        _write(args.output, render_store_stats(report) + "\n")
     return 0
 
 
@@ -887,6 +926,9 @@ def _cmd_bench(args) -> int:
         path = bench.write_result(payload, out_dir=args.out_dir)
         wrote.append(path)
         print(f"wrote {path}")
+        if args.history:
+            history_path = bench.append_history(payload, args.history)
+            print(f"appended {history_path}")
     if not wrote:
         print(f"error: no cases match filter {args.filter!r}",
               file=sys.stderr)
@@ -926,6 +968,8 @@ def _cmd_serve(args) -> int:
         log_level=args.log_level,
         log_out=args.log_out,
         durability=args.durability,
+        scrub_interval=args.scrub_interval,
+        scrub_batch=args.scrub_batch,
     )
 
     async def _run() -> None:
@@ -1104,8 +1148,23 @@ def build_parser() -> argparse.ArgumentParser:
         "ls", help="list documents with their current versions"
     )
     add_store_url(leaf)
+    leaf.add_argument("--sizes", action="store_true",
+                      help="also show per-document on-disk bytes "
+                           "(via the store-health collector)")
     leaf.add_argument("-o", "--output", default="-")
     leaf.set_defaults(func=_cmd_store_ls)
+
+    leaf = store_sub.add_parser(
+        "stats", help="store-health report: chain-length histogram, "
+                      "checkpoint coverage/staleness, bytes by kind, "
+                      "shard balance (schema repro.storewatch/1)"
+    )
+    add_store_url(leaf)
+    leaf.add_argument("--json", action="store_true",
+                      help="emit the full JSON report instead of the "
+                           "text summary")
+    leaf.add_argument("-o", "--output", default="-")
+    leaf.set_defaults(func=_cmd_store_stats)
 
     leaf = store_sub.add_parser(
         "log", help="list the versions of one document"
@@ -1307,6 +1366,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory for BENCH_*.json (default: repo root)")
     sub.add_argument("--trace-memory", action="store_true",
                      help="record the tracemalloc peak per repeat (slower)")
+    sub.add_argument("--history", default=None, metavar="DIR",
+                     help="append each run's per-case wall medians and "
+                          "gated-quality keys to DIR/history.jsonl "
+                          "(schema repro.benchhist/1; render with "
+                          "tools/bench_history.py)")
     sub.add_argument("--quiet", action="store_true",
                      help="suppress live progress lines on stderr")
     sub.add_argument("--compare", nargs="+", default=None,
@@ -1372,6 +1436,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--durability", choices=DURABILITY_LEVELS,
                      default="none",
                      help="write policy for store commits (default: none)")
+    sub.add_argument("--scrub-interval", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="re-verify store checksums in the background "
+                          "every SECONDS (0 disables; findings degrade "
+                          "/healthz and emit scrub.finding events)")
+    sub.add_argument("--scrub-batch", type=int, default=16,
+                     help="max documents re-verified per scrub tick "
+                          "(default 16)")
     add_engine(sub)
     sub.set_defaults(func=_cmd_serve)
 

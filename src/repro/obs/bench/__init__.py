@@ -29,8 +29,11 @@ from repro.obs.bench.core import (
 )
 from repro.obs.bench.render import render_text
 from repro.obs.bench.results import (
+    HISTORY_SCHEMA,
     SCHEMA,
+    append_history,
     bench_filename,
+    history_record,
     load_result,
     validate_bench_payload,
     write_result,
@@ -49,12 +52,15 @@ __all__ = [
     "DEFAULT_MIN_SECONDS",
     "DEFAULT_THRESHOLD",
     "Experiment",
+    "HISTORY_SCHEMA",
     "RepeatObs",
     "SCHEMA",
+    "append_history",
     "available_experiments",
     "bench_filename",
     "compare_payloads",
     "get_experiment",
+    "history_record",
     "load_result",
     "register_experiment",
     "render_comparison",

@@ -50,9 +50,12 @@ import time
 from typing import Optional
 
 __all__ = [
+    "HISTORY_SCHEMA",
     "SCHEMA",
+    "append_history",
     "bench_filename",
     "git_sha",
+    "history_record",
     "load_result",
     "machine_info",
     "stat_summary",
@@ -63,6 +66,9 @@ __all__ = [
 #: Schema identifier embedded in every payload.  Bump the suffix on any
 #: backwards-incompatible change to the layout above.
 SCHEMA = "repro.bench/1"
+
+#: Schema of one ``history.jsonl`` line (``xydiff bench --history``).
+HISTORY_SCHEMA = "repro.benchhist/1"
 
 
 # ---------------------------------------------------------------------------
@@ -316,3 +322,62 @@ def load_result(path: str) -> dict:
             f"{path} is not a valid bench payload:\n  " + "\n  ".join(problems)
         )
     return payload
+
+
+# ---------------------------------------------------------------------------
+# run history (the perf trajectory across runs)
+# ---------------------------------------------------------------------------
+
+
+def history_record(payload: dict) -> dict:
+    """One ``repro.benchhist/1`` line distilled from a bench payload.
+
+    Only the longitudinally comparable figures survive: per-case wall
+    medians and the *gated* quality keys (the ones ``--compare``
+    judges).  Raw samples, stage splits and machine metadata stay in
+    the full ``BENCH_*.json``.
+    """
+    cases = []
+    for case in payload["cases"]:
+        quality = case.get("quality") or {}
+        gated = case.get("gated_quality") or []
+        cases.append(
+            {
+                "name": case["name"],
+                "wall_median": case["wall_seconds"]["median"],
+                "quality": {
+                    key: quality[key] for key in gated if key in quality
+                },
+            }
+        )
+    return {
+        "schema": HISTORY_SCHEMA,
+        "experiment": payload["experiment"],
+        "git_sha": payload.get("git_sha"),
+        "generated_at": payload["generated_at"],
+        "generated_at_iso": payload.get("generated_at_iso"),
+        "fast": payload.get("fast", False),
+        "cases": cases,
+    }
+
+
+def append_history(payload: dict, history_dir: str) -> str:
+    """Append one run's :func:`history_record` to
+    ``history_dir/history.jsonl``; returns the file path.
+
+    Append-only JSONL: runs accumulate across commits, and
+    ``tools/bench_history.py`` renders the trend / flags sustained
+    regressions.
+    """
+    problems = validate_bench_payload(payload)
+    if problems:
+        raise ValueError(
+            "refusing to append invalid bench payload:\n  "
+            + "\n  ".join(problems)
+        )
+    os.makedirs(history_dir, exist_ok=True)
+    path = os.path.join(history_dir, "history.jsonl")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(history_record(payload), sort_keys=True))
+        handle.write("\n")
+    return path

@@ -92,6 +92,23 @@ EVENT_CATALOG = {
         "opening a store resolved a journaled commit left by a crash "
         "(fields: store, action, detail)"
     ),
+    "scrub.start": (
+        "a background scrub tick began walking documents (fields: "
+        "batch, stores)"
+    ),
+    "scrub.finding": (
+        "the scrubber saw a verification finding — corruption, a torn "
+        "commit, or an I/O error mid-verify (fields: store, doc_id, "
+        "kind, path)"
+    ),
+    "scrub.done": (
+        "a background scrub tick finished (fields: docs, findings, "
+        "duration_ms)"
+    ),
+    "store.stats": (
+        "a store-health report was collected for /statz (fields: "
+        "store, documents, versions, bytes_total)"
+    ),
     "client.request": (
         "one logical DiffClient request finished, successfully or not "
         "(fields: method, path, status, attempts)"

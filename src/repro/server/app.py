@@ -128,6 +128,9 @@ class ServerConfig:
         log_capacity: Events kept in the ring for ``GET /logz``.
         slo_objective: Availability objective ``GET /slo`` computes
             error-budget burn against.
+        scrub_interval: Seconds between background scrub ticks
+            (0 disables the scrubber — the default).
+        scrub_batch: Max documents re-verified per scrub tick.
     """
 
     host: str = "127.0.0.1"
@@ -150,6 +153,8 @@ class ServerConfig:
     log_out: Optional[str] = None
     log_capacity: int = 4096
     slo_objective: float = 0.999
+    scrub_interval: float = 0.0
+    scrub_batch: int = 16
 
     def __post_init__(self):
         if self.default_deadline <= 0:
@@ -167,6 +172,10 @@ class ServerConfig:
             raise ValueError(
                 "slo_objective must be strictly between 0 and 1"
             )
+        if self.scrub_interval < 0:
+            raise ValueError("scrub_interval must be >= 0 seconds")
+        if self.scrub_batch < 1:
+            raise ValueError("scrub_batch must be >= 1")
 
 
 class DiffServer:
@@ -238,6 +247,13 @@ class DiffServer:
             max_entries=config.idempotency_max,
             ttl=config.idempotency_ttl,
         )
+        if config.scrub_interval > 0:
+            from repro.server.scrub import Scrubber
+
+            self.scrubber: Optional[Scrubber] = Scrubber(self)
+        else:
+            self.scrubber = None
+        self._scrub_task: Optional[asyncio.Task] = None
 
     # -- store resolution ----------------------------------------------------
 
@@ -286,6 +302,43 @@ class DiffServer:
                 self._stores[name] = entry
         return entry
 
+    def store_stats(self, name: Optional[str] = None) -> dict:
+        """The ``/statz`` body: one ``repro.storewatch/1`` report per
+        store (or a single report when ``name`` is given).
+
+        Collection holds each store's commit lock — the same lock the
+        pooled handlers take — so the walk never races a commit;
+        gauges are refreshed and a ``store.stats`` event emitted per
+        store.  Runs synchronously: callers on the event loop wrap it
+        in an executor.
+        """
+        from repro.obs.storewatch import (
+            SCHEMA,
+            collect_store_stats,
+            publish_store_metrics,
+        )
+
+        names = [name] if name is not None else sorted(self.config.stores)
+        reports = {}
+        for store_name in names:
+            store, lock = self.store_entry(store_name)
+            with lock:
+                report = collect_store_stats(
+                    store.repository, label=store_name
+                )
+            publish_store_metrics(report, self.metrics)
+            self.events.emit(
+                "store.stats",
+                store=store_name,
+                documents=report["documents"],
+                versions=report["versions"],
+                bytes_total=report["bytes_total"],
+            )
+            reports[store_name] = report
+        if name is not None:
+            return reports[name]
+        return {"schema": SCHEMA, "stores": reports}
+
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> tuple[str, int]:
@@ -294,6 +347,10 @@ class DiffServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+        if self.scrubber is not None:
+            self._scrub_task = asyncio.get_event_loop().create_task(
+                self.scrubber.run()
+            )
         sockname = self._server.sockets[0].getsockname()
         return sockname[0], sockname[1]
 
@@ -317,6 +374,13 @@ class DiffServer:
         self.draining = True
         if self._server is not None:
             self._server.close()
+        if self._scrub_task is not None:
+            self._scrub_task.cancel()
+            try:
+                await self._scrub_task
+            except asyncio.CancelledError:  # pragma: no cover
+                pass
+            self._scrub_task = None
         await self.pool.drain()
         await self.pool.close()
         if self._server is not None:

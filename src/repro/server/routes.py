@@ -506,15 +506,28 @@ async def handle_changes(server, request: Request, params, obs) -> Response:
 
 
 async def handle_healthz(server, request: Request, params, obs) -> Response:
-    """GET /healthz — liveness plus the load-shedding state."""
-    return Response.json(
-        {
-            "status": "draining" if server.draining else "ok",
-            "queue_depth": server.pool.queue_depth,
-            "queue_limit": server.pool.queue_limit,
-            "stores": sorted(server.config.stores),
-        }
-    )
+    """GET /healthz — liveness plus the load-shedding state.
+
+    With the scrubber enabled the body carries its ``scrub`` summary,
+    and standing findings (corruption, torn commits, I/O errors seen
+    mid-verify) degrade ``status`` from ``"ok"`` to ``"degraded"`` —
+    the server still serves, but an operator should run ``fsck``.
+    """
+    if server.draining:
+        status = "draining"
+    elif server.scrubber is not None and server.scrubber.degraded:
+        status = "degraded"
+    else:
+        status = "ok"
+    body = {
+        "status": status,
+        "queue_depth": server.pool.queue_depth,
+        "queue_limit": server.pool.queue_limit,
+        "stores": sorted(server.config.stores),
+    }
+    if server.scrubber is not None:
+        body["scrub"] = server.scrubber.summary()
+    return Response.json(body)
 
 
 async def handle_metrics(server, request: Request, params, obs) -> Response:
@@ -557,12 +570,49 @@ async def handle_slo(server, request: Request, params, obs) -> Response:
     )
 
 
+async def handle_statz(server, request: Request, params, obs) -> Response:
+    """GET /statz — one ``repro.storewatch/1`` store-health report per
+    configured store (chain lengths, checkpoint staleness, bytes by
+    kind).  Served inline like ``/metrics`` — never queued — but the
+    store walk itself runs on the default executor so the event loop
+    stays responsive while a large store is measured."""
+    import asyncio
+
+    return Response.json(
+        await asyncio.get_event_loop().run_in_executor(
+            None, server.store_stats
+        )
+    )
+
+
+async def handle_repo_statz(server, request: Request, params, obs) -> Response:
+    """GET /repos/{store}/statz — the store-health report for one
+    store (404 for a name the operator never configured)."""
+    import asyncio
+
+    name = params["store"]
+    server.store_entry(name)  # unknown-store 404 before the executor hop
+    return Response.json(
+        await asyncio.get_event_loop().run_in_executor(
+            None, server.store_stats, name
+        )
+    )
+
+
 #: The registered API surface, in matching order.
 ROUTES: tuple[Route, ...] = (
     Route("GET", "/healthz", "healthz", handle_healthz, pooled=False),
     Route("GET", "/metrics", "metrics", handle_metrics, pooled=False),
     Route("GET", "/logz", "logz", handle_logz, pooled=False),
     Route("GET", "/slo", "slo", handle_slo, pooled=False),
+    Route("GET", "/statz", "statz", handle_statz, pooled=False),
+    Route(
+        "GET",
+        "/repos/{store}/statz",
+        "repo-statz",
+        handle_repo_statz,
+        pooled=False,
+    ),
     Route("POST", "/diff", "diff", handle_diff, pooled=True),
     Route("POST", "/explain", "explain", handle_explain, pooled=True),
     Route("POST", "/audit", "audit", handle_audit, pooled=True),

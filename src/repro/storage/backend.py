@@ -102,6 +102,13 @@ class StorageBackend:
         """Hex SHA-256 of the stored bytes (recomputed, never trusted)."""
         return sha256_bytes(self.get(key))
 
+    def size(self, key: str) -> int:
+        """Stored size of ``key`` in bytes; raises
+        :class:`FileNotFoundError` if absent.  Backends override this
+        with a stat/length query so store-wide accounting
+        (:mod:`repro.obs.storewatch`) never reads the values."""
+        return len(self.get(key))
+
     def put_json(self, key: str, payload, *, label: Optional[str] = None) -> str:
         """Store ``payload`` as stable, sorted JSON (the metadata format)."""
         data = (

@@ -209,6 +209,44 @@ class BlobStoreBackend(StorageBackend):
     def location(self, key: str) -> str:
         return self._ref_path(key)
 
+    def size(self, key: str) -> int:
+        digest = self._ref(key)
+        if digest is None:
+            raise FileNotFoundError(key)
+        try:
+            return os.path.getsize(self._object_path(digest))
+        except OSError as exc:
+            raise FileNotFoundError(key) from exc
+
+    def dedup_stats(self) -> dict:
+        """Sharing accounting for :mod:`repro.obs.storewatch`: logical
+        bytes (every ref counted) vs physical bytes (each object once).
+        ``ratio`` >= 1.0; 1.0 means no content is shared."""
+        refs = 0
+        logical = 0
+        objects: dict[str, int] = {}
+        for key in self.list_keys():
+            digest = self._ref(key)
+            if digest is None:
+                continue
+            refs += 1
+            if digest not in objects:
+                try:
+                    objects[digest] = os.path.getsize(
+                        self._object_path(digest)
+                    )
+                except OSError:
+                    objects[digest] = 0
+            logical += objects[digest]
+        physical = sum(objects.values())
+        return {
+            "refs": refs,
+            "objects": len(objects),
+            "logical_bytes": logical,
+            "physical_bytes": physical,
+            "ratio": round(logical / physical, 6) if physical else 1.0,
+        }
+
     # -- garbage -------------------------------------------------------------
 
     def _referenced(self) -> set[str]:

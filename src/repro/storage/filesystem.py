@@ -94,6 +94,12 @@ class FilesystemBackend(StorageBackend):
         except OSError as exc:
             raise FileNotFoundError(key) from exc
 
+    def size(self, key: str) -> int:
+        try:
+            return os.path.getsize(self._path(key))
+        except OSError as exc:
+            raise FileNotFoundError(key) from exc
+
     def location(self, key: str) -> str:
         return self._path(key)
 

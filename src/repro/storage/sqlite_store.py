@@ -128,6 +128,14 @@ class SQLiteBackend(StorageBackend):
         ).fetchone()
         return row is not None
 
+    def size(self, key: str) -> int:
+        row = self._conn.execute(
+            "SELECT length(data) FROM kv WHERE key=?", (key,)
+        ).fetchone()
+        if row is None:
+            raise FileNotFoundError(key)
+        return int(row[0])
+
     # -- transactions --------------------------------------------------------
 
     def batch(self):

@@ -1,0 +1,146 @@
+"""Bench-history trajectory: append_history + tools/bench_history.py."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.obs.bench import (
+    HISTORY_SCHEMA,
+    append_history,
+    history_record,
+)
+
+TOOLS = os.path.join(os.path.dirname(__file__), "..", "tools")
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "bench_history", os.path.join(TOOLS, "bench_history.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _stat(value):
+    return {
+        "median": value,
+        "min": value,
+        "max": value,
+        "mean": value,
+        "iqr": 0.0,
+        "samples": [value],
+    }
+
+
+def _payload(median=0.5, delta_bytes=100, experiment="TOY"):
+    return {
+        "schema": "repro.bench/1",
+        "experiment": experiment,
+        "title": "toy experiment",
+        "fast": True,
+        "generated_at": 1000.0,
+        "generated_at_iso": "2026-01-01T00:00:00Z",
+        "git_sha": "abc1234",
+        "machine": {"python": "3.12"},
+        "settings": {"repeat": 1, "warmup": 0, "trace_memory": False},
+        "summary": {},
+        "cases": [
+            {
+                "name": "case-a",
+                "params": {},
+                "wall_seconds": _stat(median),
+                "cpu_seconds": _stat(median),
+                "stage_seconds": {},
+                "stage_histogram": None,
+                "memory_peak_bytes": None,
+                "quality": {"delta_bytes": delta_bytes, "label": "free"},
+                "gated_quality": ["delta_bytes"],
+            }
+        ],
+    }
+
+
+class TestHistoryRecord:
+    def test_distills_gated_quality_only(self):
+        record = history_record(_payload(median=0.25))
+        assert record["schema"] == HISTORY_SCHEMA
+        assert record["experiment"] == "TOY"
+        case = record["cases"][0]
+        assert case["wall_median"] == 0.25
+        # 'label' is quality but not gated — it does not ride along.
+        assert case["quality"] == {"delta_bytes": 100}
+
+    def test_append_accumulates_jsonl(self, tmp_path):
+        path = append_history(_payload(0.5), str(tmp_path))
+        assert append_history(_payload(0.6), str(tmp_path)) == path
+        lines = open(path).read().strip().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert all(r["schema"] == HISTORY_SCHEMA for r in records)
+        assert [r["cases"][0]["wall_median"] for r in records] == [0.5, 0.6]
+
+    def test_append_refuses_invalid_payload(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid bench payload"):
+            append_history({"schema": "repro.bench/1"}, str(tmp_path))
+        assert not (tmp_path / "history.jsonl").exists()
+
+
+class TestHistoryTool:
+    def _write_history(self, tmp_path, medians, delta_bytes=None):
+        for index, median in enumerate(medians):
+            size = (
+                delta_bytes[index] if delta_bytes is not None else 100
+            )
+            append_history(
+                _payload(median=median, delta_bytes=size), str(tmp_path)
+            )
+        return str(tmp_path / "history.jsonl")
+
+    def test_detect_regression_needs_monotonic_worsening(self):
+        tool = _load_tool()
+        assert tool.detect_regression([1.0, 1.1, 1.2, 1.3], 3, 5.0)
+        # A recovery inside the window clears the flag.
+        assert not tool.detect_regression([1.0, 1.2, 1.1, 1.3], 3, 5.0)
+        # Monotonic but under the cumulative threshold.
+        assert not tool.detect_regression([1.0, 1.005, 1.01], 3, 5.0)
+        # Not enough runs yet.
+        assert not tool.detect_regression([1.0, 1.5], 3, 5.0)
+
+    def test_trend_table_and_exit_codes(self, tmp_path, capsys):
+        tool = _load_tool()
+        path = self._write_history(tmp_path, [1.0, 1.1, 1.25])
+        assert tool.main([path]) == 0
+        out = capsys.readouterr().out
+        assert "TOY:case-a" in out
+        assert "REGRESSION" in out
+        assert tool.main([path, "--fail-on-regression"]) == 1
+        capsys.readouterr()
+        # A generous threshold unflags the same series.
+        assert tool.main(
+            [path, "--threshold", "50", "--fail-on-regression"]
+        ) == 0
+
+    def test_quality_drift_is_flagged(self, tmp_path, capsys):
+        tool = _load_tool()
+        path = self._write_history(
+            tmp_path, [1.0, 0.9], delta_bytes=[100, 120]
+        )
+        assert tool.main([path]) == 0
+        assert "quality drift: delta_bytes" in capsys.readouterr().out
+
+    def test_bad_schema_exits_2(self, tmp_path, capsys):
+        tool = _load_tool()
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"schema": "other/9"}\n')
+        assert tool.main([str(path)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_empty_history_is_fine(self, tmp_path, capsys):
+        tool = _load_tool()
+        path = tmp_path / "history.jsonl"
+        path.write_text("")
+        assert tool.main([str(path)]) == 0
+        assert "no runs recorded" in capsys.readouterr().out

@@ -1,5 +1,7 @@
 """Tests for the xydiff command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -681,6 +683,46 @@ class TestStoreCommands:
 
     def test_missing_store_is_an_error(self, tmp_path, capsys):
         assert main(["store", "ls", "--store",
+                     f"sqlite://{tmp_path / 'nope.sqlite'}"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_ls_sizes_shows_bytes(self, tmp_path, capsys):
+        url = f"file://{tmp_path / 's'}"
+        self._seed(tmp_path, url)
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", url, "--sizes"]) == 0
+        out = capsys.readouterr().out
+        assert "doc-1  version=2 checkpoints=0 bytes=" in out
+        assert "summary: documents=1 bytes=" in out
+
+    @pytest.mark.parametrize("scheme", ["file", "sqlite", "blob", "shard"])
+    def test_stats_text_and_json(self, tmp_path, capsys, scheme):
+        path = tmp_path / ("s.sqlite" if scheme == "sqlite" else "s")
+        url = f"{scheme}://{path}"
+        if scheme == "shard":
+            url += "?shards=2"
+        self._seed(tmp_path, url)
+        capsys.readouterr()
+
+        assert main(["store", "stats", "--store", url]) == 0
+        out = capsys.readouterr().out
+        assert "documents: 1" in out
+        assert "versions: 2 (deltas: 1)" in out
+        assert "chain length: max=1" in out
+
+        assert main(["store", "stats", "--store", url, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.storewatch/1"
+        assert report["documents"] == 1
+        assert report["chain"]["histogram"] == {"1": 1}
+        if scheme == "shard":
+            assert report["sharded"] is True
+            assert len(report["shard_balance"]["documents_per_shard"]) == 2
+        if scheme == "blob":
+            assert report["dedup"] is not None
+
+    def test_stats_missing_store_is_an_error(self, tmp_path, capsys):
+        assert main(["store", "stats", "--store",
                      f"sqlite://{tmp_path / 'nope.sqlite'}"]) == 1
         assert "does not exist" in capsys.readouterr().err
 
